@@ -1,0 +1,93 @@
+// Shared machinery for the figure/table bench binaries.
+//
+// Every binary follows the same recipe: build a fresh tree per
+// configuration, prefill to steady-state density, run a timed window with
+// per-thread deterministic op streams, report a table row per series point.
+#pragma once
+
+#include <string>
+
+#include "baseline/set_adapter.h"
+#include "benchsupport/runner.h"
+#include "util/cli.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+namespace pnbbst::bench {
+
+struct BenchConfig {
+  unsigned threads = 2;
+  double seconds = 0.25;
+  long key_range = 1 << 16;
+  std::uint64_t seed = 42;
+  double zipf_theta = 0.0;
+  double prefill_density = 0.5;
+};
+
+// Runs `mix` against `tree` under `cfg`; assumes the tree is prefilled.
+template <class Tree>
+RunResult run_mix(Tree& tree, const WorkloadMix& mix, const BenchConfig& cfg) {
+  return run_timed(
+      cfg.threads, cfg.seconds,
+      [&tree, &mix, &cfg](unsigned tid, const std::atomic<bool>& stop,
+                          ThreadCounters& c) {
+        auto set = adapt(tree);
+        OpStream stream(mix, cfg.key_range, cfg.seed, tid, cfg.zipf_theta);
+        while (!stop.load(std::memory_order_acquire)) {
+          const Op op = stream.next();
+          switch (op.kind) {
+            case OpKind::kInsert:
+              ++c.inserts;
+              c.update_successes += set.insert(op.key);
+              break;
+            case OpKind::kErase:
+              ++c.erases;
+              c.update_successes += set.erase(op.key);
+              break;
+            case OpKind::kFind:
+              ++c.finds;
+              set.contains(op.key);
+              break;
+            case OpKind::kRangeScan: {
+              ++c.scans;
+              const auto t0 = now_ns();
+              c.scanned_keys += set.range_count(op.key, op.key2);
+              c.scan_latency_ns.record(now_ns() - t0);
+              break;
+            }
+          }
+          ++c.ops;
+        }
+      });
+}
+
+// Prefill + run, constructing the tree with the caller's factory.
+template <class Tree>
+RunResult bench_structure(Tree& tree, const WorkloadMix& mix,
+                          const BenchConfig& cfg) {
+  auto set = adapt(tree);
+  prefill(set, cfg.key_range, cfg.prefill_density, cfg.seed);
+  return run_mix(tree, mix, cfg);
+}
+
+inline BenchConfig config_from_cli(const Cli& cli) {
+  BenchConfig cfg;
+  cfg.seconds = cli.get_double("secs", cfg.seconds);
+  cfg.key_range = cli.get_int("keyrange", cfg.key_range);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.zipf_theta = cli.get_double("zipf", 0.0);
+  return cfg;
+}
+
+inline std::string params_string(const BenchConfig& cfg,
+                                 const std::string& extra = "") {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "keyrange=%ld secs=%.2f seed=%llu zipf=%.2f %s",
+                cfg.key_range, cfg.seconds,
+                static_cast<unsigned long long>(cfg.seed), cfg.zipf_theta,
+                extra.c_str());
+  return buf;
+}
+
+}  // namespace pnbbst::bench

@@ -1,0 +1,57 @@
+// Fig.E7 — Scan cost scaling: latency of a single RangeScan as a function
+// of (a) result width at fixed tree size and (b) tree size at fixed width.
+//
+// Paper claim exercised: ScanHelper visits only the search paths of the
+// range boundaries plus the subtrees inside the range — O(|range| + depth)
+// — so latency grows linearly with width and only logarithmically (random
+// insertion order => expected log) with tree size.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "benchsupport/reporter.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pnbbst;
+  using namespace pnbbst::bench;
+  Cli cli(argc, argv);
+  Reporter rep(cli, "Fig.E7", "scan latency vs width and tree size");
+  const int reps = static_cast<int>(cli.get_int("reps", 200));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+  char extra[32];
+  std::snprintf(extra, sizeof(extra), "reps=%d", reps);
+  rep.preamble(extra);
+
+  Table table({"tree_size", "scan_width", "mean_us", "p99_us",
+               "us_per_key"});
+  for (long tree_size : {1000L, 10000L, 100000L, 1000000L}) {
+    PnbBst<long> tree;
+    auto set = adapt(tree);
+    // Dense prefill of exactly tree_size keys out of 2*tree_size range.
+    prefill(set, 2 * tree_size, 0.5, seed);
+    for (long width : {100L, 1000L, 10000L}) {
+      if (width > tree_size) continue;
+      Histogram h;
+      Xoshiro256 rng(seed);
+      for (int i = 0; i < reps; ++i) {
+        const long lo = static_cast<long>(
+            rng.next_bounded(static_cast<std::uint64_t>(2 * tree_size - 2 * width)));
+        const auto t0 = now_ns();
+        tree.range_count(lo, lo + 2 * width - 1);  // ~width keys at 50% density
+        h.record(now_ns() - t0);
+      }
+      table.add_row({Table::num(std::int64_t{tree_size}),
+                     Table::num(std::int64_t{width}),
+                     Table::num(h.mean() / 1000.0, 1),
+                     Table::num(h.p99() / 1000),
+                     Table::num(h.mean() / static_cast<double>(width), 1)});
+    }
+  }
+  rep.emit(table);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Single-operation microbenchmarks (google-benchmark): insert / erase /
+// contains / range_count latency per structure on a prefilled tree.
+#include <benchmark/benchmark.h>
+
+#include "baseline/set_adapter.h"
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace pnbbst;
+
+constexpr long kRange = 1 << 16;
+
+template <class Tree>
+void prefill_tree(Tree& tree) {
+  auto set = adapt(tree);
+  prefill(set, kRange, 0.5, 42);
+}
+
+template <class Tree>
+void BM_InsertErase(benchmark::State& state) {
+  Tree tree;
+  prefill_tree(tree);
+  auto set = adapt(tree);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const long k = static_cast<long>(rng.next_bounded(kRange));
+    benchmark::DoNotOptimize(set.insert(k));
+    benchmark::DoNotOptimize(set.erase(k));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+template <class Tree>
+void BM_Contains(benchmark::State& state) {
+  Tree tree;
+  prefill_tree(tree);
+  auto set = adapt(tree);
+  Xoshiro256 rng(8);
+  for (auto _ : state) {
+    const long k = static_cast<long>(rng.next_bounded(kRange));
+    benchmark::DoNotOptimize(set.contains(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <class Tree>
+void BM_RangeCount(benchmark::State& state) {
+  Tree tree;
+  prefill_tree(tree);
+  auto set = adapt(tree);
+  Xoshiro256 rng(9);
+  const long width = state.range(0);
+  for (auto _ : state) {
+    const long lo = static_cast<long>(
+        rng.next_bounded(static_cast<std::uint64_t>(kRange - width)));
+    benchmark::DoNotOptimize(set.range_count(lo, lo + width - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * width / 2);
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_InsertErase, PnbBst<long>);
+BENCHMARK_TEMPLATE(BM_InsertErase, NbBst<long>);
+BENCHMARK_TEMPLATE(BM_InsertErase, LockedBst<long>);
+BENCHMARK_TEMPLATE(BM_InsertErase, CowBst<long>);
+
+BENCHMARK_TEMPLATE(BM_Contains, PnbBst<long>);
+BENCHMARK_TEMPLATE(BM_Contains, NbBst<long>);
+BENCHMARK_TEMPLATE(BM_Contains, LockedBst<long>);
+BENCHMARK_TEMPLATE(BM_Contains, CowBst<long>);
+
+BENCHMARK_TEMPLATE(BM_RangeCount, PnbBst<long>)->Arg(128)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_RangeCount, LockedBst<long>)->Arg(128)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_RangeCount, CowBst<long>)->Arg(128)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Tab.E6 — Reclamation ablation: epoch-based reclamation vs the leaky
+// (no-reclamation) research-artifact configuration, for PNB-BST and NB-BST.
+//
+// What it shows: the throughput cost of safe memory reclamation (epoch
+// pinning, limbo management) and the memory consequence of not reclaiming
+// (pending counts grow without bound under churn).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "benchsupport/reporter.h"
+#include "nbbst/nb_bst.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pnbbst;
+using namespace pnbbst::bench;
+
+template <class Tree, class Dom>
+void run_one(Table& table, const char* policy, const BenchConfig& cfg) {
+  Dom dom;
+  RunResult r;
+  {
+    Tree tree(dom);
+    r = bench_structure(tree, WorkloadMix::updates_only(), cfg);
+    table.add_row({SetAdapter<Tree>::kName, policy, Table::num(r.mops(), 3),
+                   Table::num(dom.retired_count()),
+                   Table::num(dom.freed_count()),
+                   Table::num(dom.pending_count())});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchConfig base = config_from_cli(cli);
+  base.threads = static_cast<unsigned>(cli.get_int("threads", 4));
+  Reporter rep(cli, "Tab.E6", "reclamation policy ablation (50i/50d)");
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+  char extra[32];
+  std::snprintf(extra, sizeof(extra), "threads=%u", base.threads);
+  rep.preamble(params_string(base, extra));
+
+  Table table({"structure", "policy", "Mops/s", "retired", "freed",
+               "pending_at_end"});
+  run_one<PnbBst<long, std::less<long>, EpochReclaimer>, EpochReclaimer>(
+      table, "epoch", base);
+  run_one<PnbBst<long, std::less<long>, LeakyReclaimer>, LeakyReclaimer>(
+      table, "leaky", base);
+  run_one<NbBst<long, std::less<long>, EpochReclaimer>, EpochReclaimer>(
+      table, "epoch", base);
+  run_one<NbBst<long, std::less<long>, LeakyReclaimer>, LeakyReclaimer>(
+      table, "leaky", base);
+  rep.emit(table);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Tab.E8 — Key skew: update throughput and helping traffic under Zipf
+// key distributions, PNB-BST vs NB-BST.
+//
+// Paper claim exercised: helping is local — an operation only helps updates
+// at the neighbourhood of the leaf it reaches — so even heavy skew (most
+// operations landing on the same few leaves) degrades throughput through
+// contention, not through helping cascades; helps/commit grows with theta
+// but stays a small constant.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "benchsupport/reporter.h"
+#include "nbbst/nb_bst.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pnbbst;
+using namespace pnbbst::bench;
+
+template <class Tree>
+void run_series(Table& table, const BenchConfig& base,
+                const std::vector<double>& thetas) {
+  for (double theta : thetas) {
+    BenchConfig cfg = base;
+    cfg.zipf_theta = theta;
+    Tree tree;
+    const RunResult r = bench_structure(tree, WorkloadMix::updates_only(), cfg);
+    const auto& s = tree.stats();
+    const double commits = static_cast<double>(s.commits.load());
+    table.add_row(
+        {SetAdapter<Tree>::kName, Table::num(theta, 2),
+         Table::num(r.mops(), 3), Table::num(s.attempts.load()),
+         Table::num(s.helps.load()),
+         Table::num(commits > 0
+                        ? static_cast<double>(s.helps.load()) / commits
+                        : 0.0,
+                    4),
+         Table::num(commits > 0
+                        ? static_cast<double>(s.attempts.load()) / commits
+                        : 0.0,
+                    3)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchConfig base = config_from_cli(cli);
+  base.threads = static_cast<unsigned>(cli.get_int("threads", 4));
+  Reporter rep(cli, "Tab.E8", "Zipf skew: throughput and helping locality");
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+  char extra[32];
+  std::snprintf(extra, sizeof(extra), "threads=%u", base.threads);
+  rep.preamble(params_string(base, extra));
+
+  const std::vector<double> thetas = {0.0, 0.5, 0.9, 0.99};
+  Table table({"structure", "zipf_theta", "Mops/s", "attempts", "helps",
+               "helps/commit", "attempts/commit"});
+  run_series<PnbBst<long, std::less<long>, EpochReclaimer, CountingOpStats>>(
+      table, base, thetas);
+  run_series<NbBst<long, std::less<long>, EpochReclaimer, CountingOpStats>>(
+      table, base, thetas);
+  rep.emit(table);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Tab.E9 — Bulk-load ablation: balanced construction vs incremental
+// insertion order, and the resulting find/scan performance.
+//
+// The paper's tree is unbalanced (like NB-BST); expected depth is O(log n)
+// under random insertion but Θ(n) under sorted insertion. The bulk-load
+// constructor (an artifact extension) builds a perfectly balanced phase-0
+// tree. This table quantifies what tree shape costs on the read paths.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "benchsupport/reporter.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pnbbst;
+using namespace pnbbst::bench;
+
+enum class BuildMode { kBulk, kRandomInsert, kSortedInsert };
+
+const char* mode_name(BuildMode m) {
+  switch (m) {
+    case BuildMode::kBulk: return "bulk-balanced";
+    case BuildMode::kRandomInsert: return "random-insert";
+    case BuildMode::kSortedInsert: return "sorted-insert";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const long n = cli.get_int("n", 50000);
+  const int probes = static_cast<int>(cli.get_int("probes", 50000));
+  const int scans = static_cast<int>(cli.get_int("scans", 200));
+  Reporter rep(cli, "Tab.E9", "tree shape: bulk-load vs insertion order");
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), "n=%ld probes=%d scans=%d", n, probes,
+                scans);
+  rep.preamble(extra);
+
+  Table table({"build", "build_ms", "find_ns/op", "scan1k_us", "size"});
+  for (BuildMode mode :
+       {BuildMode::kBulk, BuildMode::kRandomInsert, BuildMode::kSortedInsert}) {
+    Timer build_timer;
+    std::unique_ptr<PnbBst<long>> tree;
+    switch (mode) {
+      case BuildMode::kBulk: {
+        std::vector<long> keys;
+        keys.reserve(static_cast<std::size_t>(n));
+        for (long k = 0; k < n; ++k) keys.push_back(k);
+        tree = std::make_unique<PnbBst<long>>(keys.begin(), keys.end());
+        break;
+      }
+      case BuildMode::kRandomInsert: {
+        tree = std::make_unique<PnbBst<long>>();
+        Xoshiro256 rng(1);
+        // Insert a random permutation of 0..n-1 (Fisher–Yates draw).
+        std::vector<long> keys;
+        for (long k = 0; k < n; ++k) keys.push_back(k);
+        for (long i = n - 1; i > 0; --i) {
+          std::swap(keys[static_cast<std::size_t>(i)],
+                    keys[rng.next_bounded(static_cast<std::uint64_t>(i) + 1)]);
+        }
+        for (long k : keys) tree->insert(k);
+        break;
+      }
+      case BuildMode::kSortedInsert: {
+        tree = std::make_unique<PnbBst<long>>();
+        for (long k = 0; k < n; ++k) tree->insert(k);
+        break;
+      }
+    }
+    const double build_ms = build_timer.elapsed_ms();
+
+    Xoshiro256 rng(2);
+    Timer find_timer;
+    std::uint64_t hits = 0;
+    for (int i = 0; i < probes; ++i) {
+      hits += tree->contains(
+          static_cast<long>(rng.next_bounded(static_cast<std::uint64_t>(n))));
+    }
+    const double find_ns =
+        static_cast<double>(find_timer.elapsed_ns()) / probes;
+
+    Histogram h;
+    for (int i = 0; i < scans; ++i) {
+      const long lo = static_cast<long>(
+          rng.next_bounded(static_cast<std::uint64_t>(n - 1000)));
+      const auto t0 = now_ns();
+      tree->range_count(lo, lo + 999);
+      h.record(now_ns() - t0);
+    }
+    table.add_row({mode_name(mode), Table::num(build_ms, 1),
+                   Table::num(find_ns, 1), Table::num(h.mean() / 1000.0, 1),
+                   Table::num(static_cast<std::uint64_t>(hits))});
+  }
+  rep.emit(table);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Versioned audit: exploiting persistence directly. An account registry
+// takes snapshot "audit points" while updates continue; later, an auditor
+// diffs two audit points — reading both historical versions concurrently
+// with ongoing writes, wait-free.
+//
+// This exercises the multi-version substrate the paper builds RangeScan on:
+// a Snapshot pins phase i and reads T_i regardless of later updates.
+//
+//   build/examples/versioned_audit [--accounts=N] [--rounds=K]
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/pnb_bst.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+namespace {
+
+using Tree = pnbbst::PnbBst<long>;
+
+// Diff two audit points: returns (added, removed) between older and newer.
+std::pair<std::vector<long>, std::vector<long>> diff(
+    const Tree::Snapshot& older, const Tree::Snapshot& newer, long lo,
+    long hi) {
+  std::vector<long> before = older.range_scan(lo, hi);
+  std::vector<long> after = newer.range_scan(lo, hi);
+  std::vector<long> added, removed;
+  std::set_difference(after.begin(), after.end(), before.begin(),
+                      before.end(), std::back_inserter(added));
+  std::set_difference(before.begin(), before.end(), after.begin(),
+                      after.end(), std::back_inserter(removed));
+  return {std::move(added), std::move(removed)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pnbbst::Cli cli(argc, argv);
+  const long accounts = cli.get_int("accounts", 10000);
+  const int rounds = static_cast<int>(cli.get_int("rounds", 8));
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+
+  Tree registry;
+  pnbbst::Xoshiro256 rng(404);
+  for (long a = 0; a < accounts; a += 2) registry.insert(a);  // even ids
+
+  std::vector<Tree::Snapshot> audit_points;
+  audit_points.reserve(static_cast<std::size_t>(rounds) + 1);
+  audit_points.push_back(registry.snapshot());
+
+  // Writer churns account registrations while audit points accumulate.
+  for (int round = 0; round < rounds; ++round) {
+    std::thread writer([&] {
+      pnbbst::Xoshiro256 wrng(
+          pnbbst::thread_seed(500 + static_cast<unsigned>(round), 0));
+      for (int i = 0; i < 20000; ++i) {
+        const long a = static_cast<long>(
+            wrng.next_bounded(static_cast<std::uint64_t>(accounts)));
+        if (wrng.next_bounded(2)) {
+          registry.insert(a);
+        } else {
+          registry.erase(a);
+        }
+      }
+    });
+    // Auditor reads the PREVIOUS audit point while the writer runs — the
+    // historical version is immutable and wait-free to read.
+    const auto& last = audit_points.back();
+    const std::size_t historical = last.size();
+    writer.join();
+    audit_points.push_back(registry.snapshot());
+    std::printf("round %d: audit point %llu, previous point still reads %zu "
+                "accounts\n",
+                round,
+                static_cast<unsigned long long>(audit_points.back().phase()),
+                historical);
+  }
+
+  // Full audit trail: diff consecutive audit points.
+  std::printf("\naudit trail (%zu points):\n", audit_points.size());
+  for (std::size_t i = 1; i < audit_points.size(); ++i) {
+    auto [added, removed] =
+        diff(audit_points[i - 1], audit_points[i], 0, accounts);
+    std::printf("  %llu -> %llu: +%zu accounts, -%zu accounts (size %zu)\n",
+                static_cast<unsigned long long>(audit_points[i - 1].phase()),
+                static_cast<unsigned long long>(audit_points[i].phase()),
+                added.size(), removed.size(), audit_points[i].size());
+  }
+
+  // Sanity: the first audit point still shows the original registrations.
+  std::printf("\nfirst audit point still has exactly the even ids: %s\n",
+              audit_points.front().size() ==
+                      static_cast<std::size_t>(accounts / 2)
+                  ? "yes"
+                  : "NO (bug!)");
+  std::puts("versioned_audit done");
+  return 0;
+}

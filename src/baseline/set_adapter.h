@@ -1,0 +1,109 @@
+// Uniform facade over the four set implementations so benchmarks, tests and
+// examples can be written once and instantiated per structure.
+//
+// Adapter surface:
+//   bool insert(k) / erase(k) / contains(k)
+//   size_t range_count(lo, hi)        — linearizable where the structure
+//                                       supports it (see kLinearizableScan)
+//   static constexpr const char* kName
+//   static constexpr bool kLinearizableScan
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/cow_bst.h"
+#include "baseline/lf_skiplist.h"
+#include "baseline/locked_bst.h"
+#include "core/pnb_bst.h"
+#include "nbbst/nb_bst.h"
+
+namespace pnbbst {
+
+template <class Tree>
+struct SetAdapter;
+
+template <class K, class C, class R, class S>
+struct SetAdapter<PnbBst<K, C, R, S>> {
+  using Tree = PnbBst<K, C, R, S>;
+  static constexpr const char* kName = "pnb-bst";
+  static constexpr bool kLinearizableScan = true;
+
+  Tree& t;
+  bool insert(const K& k) { return t.insert(k); }
+  bool erase(const K& k) { return t.erase(k); }
+  bool contains(const K& k) { return t.contains(k); }
+  std::size_t range_count(const K& lo, const K& hi) {
+    return t.range_count(lo, hi);
+  }
+};
+
+template <class K, class C, class R, class S>
+struct SetAdapter<NbBst<K, C, R, S>> {
+  using Tree = NbBst<K, C, R, S>;
+  static constexpr const char* kName = "nb-bst";
+  static constexpr bool kLinearizableScan = false;  // best-effort traversal
+
+  Tree& t;
+  bool insert(const K& k) { return t.insert(k); }
+  bool erase(const K& k) { return t.erase(k); }
+  bool contains(const K& k) { return t.contains(k); }
+  std::size_t range_count(const K& lo, const K& hi) {
+    std::size_t n = 0;
+    t.range_visit_unsafe(lo, hi, [&n](const K&) { ++n; });
+    return n;
+  }
+};
+
+template <class K, class C, class S>
+struct SetAdapter<LockedBst<K, C, S>> {
+  using Tree = LockedBst<K, C, S>;
+  static constexpr const char* kName = "locked-bst";
+  static constexpr bool kLinearizableScan = true;  // blocking
+
+  Tree& t;
+  bool insert(const K& k) { return t.insert(k); }
+  bool erase(const K& k) { return t.erase(k); }
+  bool contains(const K& k) { return t.contains(k); }
+  std::size_t range_count(const K& lo, const K& hi) {
+    return t.range_count(lo, hi);
+  }
+};
+
+template <class K, class C, class R, class S>
+struct SetAdapter<CowBst<K, C, R, S>> {
+  using Tree = CowBst<K, C, R, S>;
+  static constexpr const char* kName = "cow-bst";
+  static constexpr bool kLinearizableScan = true;  // snapshot at root load
+
+  Tree& t;
+  bool insert(const K& k) { return t.insert(k); }
+  bool erase(const K& k) { return t.erase(k); }
+  bool contains(const K& k) { return t.contains(k); }
+  std::size_t range_count(const K& lo, const K& hi) {
+    return t.range_count(lo, hi);
+  }
+};
+
+template <class K, class C, class R, class S>
+struct SetAdapter<LfSkipList<K, C, R, S>> {
+  using Tree = LfSkipList<K, C, R, S>;
+  static constexpr const char* kName = "lf-skiplist";
+  static constexpr bool kLinearizableScan = false;  // best-effort traversal
+
+  Tree& t;
+  bool insert(const K& k) { return t.insert(k); }
+  bool erase(const K& k) { return t.erase(k); }
+  bool contains(const K& k) { return t.contains(k); }
+  std::size_t range_count(const K& lo, const K& hi) {
+    std::size_t n = 0;
+    t.range_visit_unsafe(lo, hi, [&n](const K&) { ++n; });
+    return n;
+  }
+};
+
+template <class Tree>
+SetAdapter<Tree> adapt(Tree& t) {
+  return SetAdapter<Tree>{t};
+}
+
+}  // namespace pnbbst

@@ -1,0 +1,28 @@
+#include "benchsupport/reporter.h"
+
+#include <cstdio>
+
+namespace pnbbst {
+
+Reporter::Reporter(const Cli& cli, std::string experiment_id,
+                   std::string title)
+    : id_(std::move(experiment_id)),
+      title_(std::move(title)),
+      csv_(cli.get_bool("csv", false)) {}
+
+void Reporter::preamble(const std::string& params) const {
+  std::printf("== %s: %s ==\n", id_.c_str(), title_.c_str());
+  if (!params.empty()) std::printf("params: %s\n", params.c_str());
+  std::printf("\n");
+}
+
+void Reporter::emit(const Table& table) const {
+  table.print(stdout);
+  if (csv_) {
+    std::printf("\n-- csv --\n");
+    table.print_csv(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace pnbbst

@@ -1,0 +1,30 @@
+// Shared output conventions for the figure/table bench binaries.
+//
+// Every bench prints a titled, aligned table (the "figure" the paper would
+// plot) and, with --csv, the same data as CSV for external plotting.
+#pragma once
+
+#include <string>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace pnbbst {
+
+class Reporter {
+ public:
+  Reporter(const Cli& cli, std::string experiment_id, std::string title);
+
+  // Prints the header banner (experiment id, title, parameters line).
+  void preamble(const std::string& params) const;
+
+  // Prints the aligned table and optionally CSV.
+  void emit(const Table& table) const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  bool csv_;
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,49 @@
+#include "benchsupport/runner.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/spin_barrier.h"
+#include "util/timer.h"
+
+namespace pnbbst {
+
+RunResult run_timed(unsigned threads, double seconds, const WorkerFn& worker) {
+  std::vector<CachePadded<ThreadCounters>> counters(threads);
+  std::atomic<bool> stop{false};
+  SpinBarrier barrier(threads + 1);
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      worker(t, stop, counters[t].value);
+    });
+  }
+
+  barrier.arrive_and_wait();
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const double elapsed = timer.elapsed_s();
+
+  RunResult result;
+  result.threads = threads;
+  result.elapsed_s = elapsed;
+  for (auto& c : counters) {
+    result.total_ops += c->ops;
+    result.inserts += c->inserts;
+    result.erases += c->erases;
+    result.finds += c->finds;
+    result.scans += c->scans;
+    result.update_successes += c->update_successes;
+    result.scanned_keys += c->scanned_keys;
+    result.scan_latency_ns.merge(c->scan_latency_ns);
+  }
+  return result;
+}
+
+}  // namespace pnbbst

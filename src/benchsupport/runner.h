@@ -1,0 +1,66 @@
+// Timed multi-threaded measurement harness.
+//
+// All worker threads register per-thread counters (cache-padded), meet at a
+// spin barrier, run the workload until the stop flag flips after the timed
+// window, and the runner aggregates counts into a RunResult. Thread sweeps
+// on oversubscribed machines still measure correctly (wall-clock window).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/cacheline.h"
+#include "util/histogram.h"
+
+namespace pnbbst {
+
+// Per-thread operation counters; padded to avoid false sharing.
+struct ThreadCounters {
+  std::uint64_t ops = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t finds = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t update_successes = 0;
+  std::uint64_t scanned_keys = 0;
+  Histogram scan_latency_ns;
+};
+
+struct RunResult {
+  unsigned threads = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t finds = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t update_successes = 0;
+  std::uint64_t scanned_keys = 0;
+  Histogram scan_latency_ns;
+
+  double mops() const {
+    return elapsed_s > 0.0
+               ? static_cast<double>(total_ops) / elapsed_s / 1e6
+               : 0.0;
+  }
+  double update_mops() const {
+    return elapsed_s > 0.0
+               ? static_cast<double>(inserts + erases) / elapsed_s / 1e6
+               : 0.0;
+  }
+  double scans_per_s() const {
+    return elapsed_s > 0.0 ? static_cast<double>(scans) / elapsed_s : 0.0;
+  }
+};
+
+// Worker signature: (thread_id, stop flag, counters). The worker must poll
+// `stop` between operations and return when it is set.
+using WorkerFn =
+    std::function<void(unsigned, const std::atomic<bool>&, ThreadCounters&)>;
+
+// Runs `threads` copies of `worker` for `seconds` of wall-clock time after a
+// synchronized start; returns aggregated counters.
+RunResult run_timed(unsigned threads, double seconds, const WorkerFn& worker);
+
+}  // namespace pnbbst

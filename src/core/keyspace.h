@@ -1,0 +1,68 @@
+// Extended key space with the paper's two infinity sentinels.
+//
+// The leaf-oriented tree is initialized (Fig. 2, line 31) with a root
+// Internal node keyed ∞2 whose children are leaves keyed ∞1 and ∞2; every
+// finite key is smaller than ∞1 < ∞2. We represent this as a (key, class)
+// pair ordered first by class. Sentinel keys never leave the tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace pnbbst {
+
+enum class KeyClass : std::uint8_t {
+  kFinite = 0,
+  kInf1 = 1,  // ∞1
+  kInf2 = 2,  // ∞2
+};
+
+template <class Key>
+struct ExtKey {
+  Key key{};  // meaningful only when cls == kFinite
+  KeyClass cls = KeyClass::kFinite;
+
+  static ExtKey finite(const Key& k) { return ExtKey{k, KeyClass::kFinite}; }
+  static ExtKey inf1() { return ExtKey{Key{}, KeyClass::kInf1}; }
+  static ExtKey inf2() { return ExtKey{Key{}, KeyClass::kInf2}; }
+
+  bool is_finite() const noexcept { return cls == KeyClass::kFinite; }
+};
+
+// Strict weak order over extended keys: class order dominates, finite keys
+// compare with the user comparator. Equal-class sentinels are equal.
+template <class Key, class Compare = std::less<Key>>
+struct ExtKeyLess {
+  [[no_unique_address]] Compare cmp{};
+
+  bool operator()(const ExtKey<Key>& a, const ExtKey<Key>& b) const {
+    if (a.cls != b.cls) {
+      return static_cast<std::uint8_t>(a.cls) < static_cast<std::uint8_t>(b.cls);
+    }
+    if (a.cls != KeyClass::kFinite) return false;  // same sentinel
+    return cmp(a.key, b.key);
+  }
+
+  // finite-vs-extended shortcuts used on the search path
+  bool operator()(const Key& a, const ExtKey<Key>& b) const {
+    if (b.cls != KeyClass::kFinite) return true;  // finite < ∞
+    return cmp(a, b.key);
+  }
+  bool operator()(const ExtKey<Key>& a, const Key& b) const {
+    if (a.cls != KeyClass::kFinite) return false;  // ∞ > finite
+    return cmp(a.key, b);
+  }
+
+  bool equal(const ExtKey<Key>& a, const Key& b) const {
+    return a.cls == KeyClass::kFinite && !cmp(a.key, b) && !cmp(b, a.key);
+  }
+  bool equal(const ExtKey<Key>& a, const ExtKey<Key>& b) const {
+    return !(*this)(a, b) && !(*this)(b, a);
+  }
+
+  ExtKey<Key> max(const ExtKey<Key>& a, const ExtKey<Key>& b) const {
+    return (*this)(a, b) ? b : a;
+  }
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,74 @@
+// Operation statistics policies for the tree templates.
+//
+// NullOpStats compiles to nothing (the default). CountingOpStats uses
+// relaxed atomic counters and powers the handshaking / helping ablation
+// benchmarks (Tab.E5) and several tests. Counters are named after the
+// paper's mechanisms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pnbbst {
+
+struct NullOpStats {
+  static constexpr bool kEnabled = false;
+  void inc_attempts() noexcept {}
+  void inc_commits() noexcept {}
+  void inc_handshake_aborts() noexcept {}
+  void inc_freeze_fail_aborts() noexcept {}
+  void inc_validate_fails() noexcept {}
+  void inc_helps() noexcept {}
+  void inc_scans() noexcept {}
+  void inc_scan_helps() noexcept {}
+  void inc_child_cas_failures() noexcept {}
+  void inc_nodes_allocated(std::uint64_t = 1) noexcept {}
+  void inc_infos_allocated() noexcept {}
+};
+
+struct CountingOpStats {
+  static constexpr bool kEnabled = true;
+
+  // One update-loop iteration (an "attempt" in the paper's terminology).
+  std::atomic<std::uint64_t> attempts{0};
+  // Update attempts whose Info object reached Commit.
+  std::atomic<std::uint64_t> commits{0};
+  // Attempts aborted by the handshaking check (Counter advanced).
+  std::atomic<std::uint64_t> handshake_aborts{0};
+  // Attempts aborted because a later freeze CAS lost a race.
+  std::atomic<std::uint64_t> freeze_fail_aborts{0};
+  // ValidateLeaf / ValidateLink failures that forced a retry.
+  std::atomic<std::uint64_t> validate_fails{0};
+  // Calls to Help() on someone else's Info object (the helping mechanism).
+  std::atomic<std::uint64_t> helps{0};
+  // RangeScan / snapshot traversals started.
+  std::atomic<std::uint64_t> scans{0};
+  // Help() calls issued from inside a scan traversal.
+  std::atomic<std::uint64_t> scan_helps{0};
+  // Child CAS attempts that failed (another helper already applied it).
+  std::atomic<std::uint64_t> child_cas_failures{0};
+  // Allocation counters (used by reclamation accounting tests).
+  std::atomic<std::uint64_t> nodes_allocated{0};
+  std::atomic<std::uint64_t> infos_allocated{0};
+
+  void inc_attempts() noexcept { bump(attempts); }
+  void inc_commits() noexcept { bump(commits); }
+  void inc_handshake_aborts() noexcept { bump(handshake_aborts); }
+  void inc_freeze_fail_aborts() noexcept { bump(freeze_fail_aborts); }
+  void inc_validate_fails() noexcept { bump(validate_fails); }
+  void inc_helps() noexcept { bump(helps); }
+  void inc_scans() noexcept { bump(scans); }
+  void inc_scan_helps() noexcept { bump(scan_helps); }
+  void inc_child_cas_failures() noexcept { bump(child_cas_failures); }
+  void inc_nodes_allocated(std::uint64_t n = 1) noexcept {
+    nodes_allocated.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc_infos_allocated() noexcept { bump(infos_allocated); }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace pnbbst

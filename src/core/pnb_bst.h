@@ -1,0 +1,838 @@
+// PNB-BST — Persistent Non-Blocking Binary Search Tree with wait-free range
+// queries (Fatourou & Ruppert, SPAA 2019 / FORTH TR 470).
+//
+// The tree is leaf-oriented: Internal keys only route, Leaf keys are the set
+// members. Insert/Delete/Find are non-blocking, RangeScan (range_visit /
+// range_scan / range_count / snapshots) is wait-free. Linearizable; works
+// with any number of dynamically joining threads.
+//
+// Persistence mechanism (§4.1): every node records the phase (`seq`) that
+// created it and the node it replaced (`prev`). A global phase counter is
+// bumped by every scan; an operation with sequence number s traverses the
+// version-s tree T_s by skipping — via prev chains — nodes created by later
+// phases. The handshaking check inside Help() aborts any update attempt
+// that straddled a phase boundary, so a scan with sequence number s sees
+// exactly the updates linearized in phases <= s.
+//
+// Template parameters:
+//   Key      — copyable, totally ordered by Compare.
+//   Compare  — strict weak order over Key.
+//   R        — reclaimer policy (EpochReclaimer or LeakyReclaimer); see
+//              reclaim/reclaimer.h for the contract. The reclaimer must
+//              outlive the tree and all of the tree's pending retirements.
+//   Stats    — NullOpStats (default) or CountingOpStats.
+//
+// Thread safety: all public operations may be called concurrently from any
+// thread. Operations are logically const but physically help concurrent
+// updates, so the API is non-const throughout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/info.h"
+#include "core/keyspace.h"
+#include "core/node.h"
+#include "core/op_stats.h"
+#include "core/tagged_update.h"
+#include "reclaim/epoch.h"
+#include "reclaim/leaky.h"
+#include "reclaim/reclaimer.h"
+#include "util/cacheline.h"
+
+namespace pnbbst {
+
+template <class Key, class Compare = std::less<Key>,
+          class R = EpochReclaimer, class Stats = NullOpStats>
+class PnbBst {
+ public:
+  using key_type = Key;
+  using Node = PnbNode<Key>;
+  using Leaf = PnbLeaf<Key>;
+  using Internal = PnbInternal<Key>;
+  using Info = PnbInfo<Key>;
+  using Update = TaggedUpdate<Info>;
+  using EK = ExtKey<Key>;
+
+  explicit PnbBst(R& reclaimer = R::shared()) : reclaimer_(&reclaimer) {
+    dummy_ = new Info;
+    dummy_->is_dummy = true;
+    dummy_->state.store(InfoState::kAbort, std::memory_order_relaxed);
+    // Initial tree (Fig. 2, line 31): Root(∞2) with leaves ∞1 and ∞2.
+    root_ = new Internal;
+    root_->key = EK::inf2();
+    root_->seq = 0;
+    root_->prev = nullptr;
+    root_->store_update(Update(FreezeType::kFlag, dummy_),
+                        std::memory_order_relaxed);
+    root_->left.store(make_leaf(EK::inf1(), 0, nullptr),
+                      std::memory_order_relaxed);
+    root_->right.store(make_leaf(EK::inf2(), 0, nullptr),
+                       std::memory_order_relaxed);
+  }
+
+  // Bulk-load constructor: builds a perfectly balanced tree from a sorted,
+  // duplicate-free range (per Compare). Runs before any concurrency; all
+  // nodes belong to phase 0.
+  template <class It>
+  PnbBst(It first, It last, R& reclaimer = R::shared()) : PnbBst(reclaimer) {
+    std::vector<EK> leaves;
+    for (It it = first; it != last; ++it) leaves.push_back(EK::finite(*it));
+    leaves.push_back(EK::inf1());
+    Node* old_left = root_->left.load(std::memory_order_relaxed);
+    root_->left.store(build_balanced(leaves, 0, leaves.size()),
+                      std::memory_order_relaxed);
+    delete_unpublished(old_left);  // the plain ∞1 leaf from delegation
+  }
+
+  PnbBst(const PnbBst&) = delete;
+  PnbBst& operator=(const PnbBst&) = delete;
+
+  // Destructor assumes quiescence (no concurrent operations). Frees the
+  // current version tree T_inf; previously unlinked nodes are already owned
+  // by the reclaimer and freed on its schedule.
+  ~PnbBst() {
+    std::vector<Node*> stack;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (!n->is_leaf()) {
+        Internal* in = as_internal(n);
+        stack.push_back(in->left.load(std::memory_order_relaxed));
+        stack.push_back(in->right.load(std::memory_order_relaxed));
+      }
+      node_deleter(n);
+    }
+    delete dummy_;
+  }
+
+  // --- Set operations ------------------------------------------------------
+
+  // Inserts k; returns false iff k was already present.
+  bool insert(const Key& k) {
+    auto guard = reclaimer_->pin();
+    for (;;) {
+      stats_.inc_attempts();
+      const std::uint64_t seq = counter_.load(std::memory_order_seq_cst);
+      const SearchResult sr = search(k, seq);
+      const LeafCheck chk = validate_leaf(sr.gp, sr.p, sr.l, k);
+      if (!chk.ok) {
+        stats_.inc_validate_fails();
+        continue;
+      }
+      if (less_.equal(sr.l->key, k)) return false;  // duplicate
+
+      // Build the 3-node replacement subtree (Fig. 5, lines 161–163).
+      Leaf* new_leaf = make_leaf(EK::finite(k), seq, nullptr);
+      Leaf* new_sibling = make_leaf(sr.l->key, seq, nullptr);
+      Internal* new_internal =
+          make_internal(less_.max(EK::finite(k), sr.l->key), seq, sr.l);
+      const bool k_left = less_(EK::finite(k), sr.l->key);
+      new_internal->left.store(k_left ? static_cast<Node*>(new_leaf)
+                                      : static_cast<Node*>(new_sibling),
+                               std::memory_order_relaxed);
+      new_internal->right.store(k_left ? static_cast<Node*>(new_sibling)
+                                       : static_cast<Node*>(new_leaf),
+                                std::memory_order_relaxed);
+
+      Node* nodes[2] = {sr.p, sr.l};
+      Update old_up[2] = {chk.pup, sr.l->load_update()};
+      switch (execute(nodes, old_up, 2, sr.p, sr.l, new_internal, seq,
+                      /*from_delete=*/false)) {
+        case ExecResult::kSuccess:
+          stats_.inc_commits();
+          return true;
+        case ExecResult::kFailNotPublished:
+          // Info never became visible: the speculative nodes are private.
+          delete new_leaf;
+          delete new_sibling;
+          delete new_internal;
+          break;
+        case ExecResult::kFailPublished:
+          // The (aborted) Info is visible and references new_internal; no
+          // helper will dereference it (aborted Infos never reach the child
+          // CAS, Lemma 10) but we retire through the reclaimer regardless.
+          retire_node(new_leaf);
+          retire_node(new_sibling);
+          retire_node(new_internal);
+          break;
+      }
+    }
+  }
+
+  // Removes k; returns false iff k was absent.
+  bool erase(const Key& k) {
+    auto guard = reclaimer_->pin();
+    for (;;) {
+      stats_.inc_attempts();
+      const std::uint64_t seq = counter_.load(std::memory_order_seq_cst);
+      const SearchResult sr = search(k, seq);
+      const LeafCheck chk = validate_leaf(sr.gp, sr.p, sr.l, k);
+      if (!chk.ok) {
+        stats_.inc_validate_fails();
+        continue;
+      }
+      if (!less_.equal(sr.l->key, k)) return false;  // not present
+
+      // sibling := ReadChild(p, l.key >= p.key, seq)   (Fig. 5, line 182)
+      const bool sib_left = !less_(sr.l->key, sr.p->key);
+      Node* sibling = read_child(sr.p, sib_left, seq);
+      const LinkCheck c2 = validate_link(sr.p, sibling, sib_left);
+      if (!c2.ok) {
+        stats_.inc_validate_fails();
+        continue;
+      }
+
+      // newNode := copy of sibling with seq := seq, prev := p (line 185).
+      Node* new_node = nullptr;
+      Update supdate{};
+      bool validated = true;
+      if (sibling->is_leaf()) {
+        new_node = make_leaf(sibling->key, seq, sr.p);
+        supdate = sibling->load_update();
+      } else {
+        Internal* sib_int = as_internal(sibling);
+        Internal* copy = make_internal(sibling->key, seq, sr.p);
+        copy->left.store(sib_int->left.load(std::memory_order_seq_cst),
+                         std::memory_order_relaxed);
+        copy->right.store(sib_int->right.load(std::memory_order_seq_cst),
+                          std::memory_order_relaxed);
+        new_node = copy;
+        const LinkCheck c3 = validate_link(
+            sib_int, copy->left.load(std::memory_order_relaxed), true);
+        validated = c3.ok;
+        supdate = c3.up;
+        if (validated) {
+          const LinkCheck c4 = validate_link(
+              sib_int, copy->right.load(std::memory_order_relaxed), false);
+          validated = c4.ok;
+        }
+      }
+      if (!validated) {
+        stats_.inc_validate_fails();
+        delete_unpublished(new_node);
+        continue;
+      }
+
+      Node* nodes[4] = {sr.gp, sr.p, sr.l, sibling};
+      Update old_up[4] = {chk.gpup, chk.pup, sr.l->load_update(), supdate};
+      switch (execute(nodes, old_up, 4, sr.gp, sr.p, new_node, seq,
+                      /*from_delete=*/true)) {
+        case ExecResult::kSuccess:
+          stats_.inc_commits();
+          return true;
+        case ExecResult::kFailNotPublished:
+          delete_unpublished(new_node);
+          break;
+        case ExecResult::kFailPublished:
+          retire_node(new_node);
+          break;
+      }
+    }
+  }
+
+  // Wait-free-helped Find (Fig. 3, lines 69–82).
+  bool contains(const Key& k) {
+    auto guard = reclaimer_->pin();
+    for (;;) {
+      const std::uint64_t seq = counter_.load(std::memory_order_seq_cst);
+      const SearchResult sr = search(k, seq);
+      const LeafCheck chk = validate_leaf(sr.gp, sr.p, sr.l, k);
+      if (chk.ok) return less_.equal(sr.l->key, k);
+      stats_.inc_validate_fails();
+    }
+  }
+
+  // Like contains(), but returns the stored key object. With a comparator
+  // that inspects only part of the key (e.g. the key field of a key/value
+  // struct — see core/pnb_map.h), this is a linearizable lookup.
+  std::optional<Key> get(const Key& k) {
+    auto guard = reclaimer_->pin();
+    for (;;) {
+      const std::uint64_t seq = counter_.load(std::memory_order_seq_cst);
+      const SearchResult sr = search(k, seq);
+      const LeafCheck chk = validate_leaf(sr.gp, sr.p, sr.l, k);
+      if (chk.ok) {
+        if (less_.equal(sr.l->key, k)) return sr.l->key.key;
+        return std::nullopt;
+      }
+      stats_.inc_validate_fails();
+    }
+  }
+
+  // --- Range queries (wait-free) ------------------------------------------
+
+  // Visits every key in [lo, hi] in ascending order, linearized at the end
+  // of the scan's phase. Wait-free (Theorem 47).
+  template <class Visitor>
+  void range_visit(const Key& lo, const Key& hi, Visitor&& vis) {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    const std::uint64_t seq =
+        counter_.fetch_add(1, std::memory_order_seq_cst);
+    scan_tree(seq, &lo, &hi, vis);
+  }
+
+  std::vector<Key> range_scan(const Key& lo, const Key& hi) {
+    std::vector<Key> out;
+    range_visit(lo, hi, [&out](const Key& k) { out.push_back(k); });
+    return out;
+  }
+
+  std::size_t range_count(const Key& lo, const Key& hi) {
+    std::size_t n = 0;
+    range_visit(lo, hi, [&n](const Key&) { ++n; });
+    return n;
+  }
+
+  // Early-terminating scan: the visitor returns false to stop. The visited
+  // keys are an ascending prefix of the range at the scan's phase —
+  // pagination ("first n keys >= lo") stays linearizable.
+  template <class Visitor>
+  void range_visit_while(const Key& lo, const Key& hi, Visitor&& vis) {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    const std::uint64_t seq =
+        counter_.fetch_add(1, std::memory_order_seq_cst);
+    scan_tree(seq, &lo, &hi, vis);
+  }
+
+  // First (at most) n keys of [lo, hi] in ascending order.
+  std::vector<Key> range_first(const Key& lo, const Key& hi, std::size_t n) {
+    std::vector<Key> out;
+    if (n == 0) return out;
+    range_visit_while(lo, hi, [&out, n](const Key& k) {
+      out.push_back(k);
+      return out.size() < n;
+    });
+    return out;
+  }
+
+  // Full linearizable key census (a whole-tree RangeScan).
+  std::size_t size() {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    const std::uint64_t seq =
+        counter_.fetch_add(1, std::memory_order_seq_cst);
+    std::size_t n = 0;
+    auto count = [&n](const Key&) { ++n; };
+    scan_tree(seq, nullptr, nullptr, count);
+    return n;
+  }
+
+  bool empty() { return size() == 0; }
+
+  // --- Snapshots ------------------------------------------------------------
+
+  // A Snapshot freezes one phase and supports any number of point and range
+  // queries against it, all mutually consistent. The handle holds an epoch
+  // pin for its whole lifetime: destroy snapshots promptly, or memory
+  // reclamation stalls (documented limitation, DESIGN.md §6).
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&&) noexcept = default;
+    Snapshot& operator=(Snapshot&&) noexcept = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    std::uint64_t phase() const noexcept { return seq_; }
+
+    bool contains(const Key& k) const {
+      Node* l = tree_->root_;
+      while (!l->is_leaf()) {
+        Internal* in = as_internal(l);
+        tree_->help_if_in_progress(in);
+        l = tree_->read_child(in, tree_->less_(k, in->key), seq_);
+      }
+      return tree_->less_.equal(l->key, k);
+    }
+
+    template <class Visitor>
+    void range_visit(const Key& lo, const Key& hi, Visitor&& vis) const {
+      tree_->scan_tree(seq_, &lo, &hi, vis);
+    }
+
+    std::vector<Key> range_scan(const Key& lo, const Key& hi) const {
+      std::vector<Key> out;
+      range_visit(lo, hi, [&out](const Key& k) { out.push_back(k); });
+      return out;
+    }
+
+    std::size_t range_count(const Key& lo, const Key& hi) const {
+      std::size_t n = 0;
+      range_visit(lo, hi, [&n](const Key&) { ++n; });
+      return n;
+    }
+
+    // First (at most) n keys of [lo, hi] at this phase.
+    std::vector<Key> range_first(const Key& lo, const Key& hi,
+                                 std::size_t n) const {
+      std::vector<Key> out;
+      if (n == 0) return out;
+      auto take = [&out, n](const Key& k) {
+        out.push_back(k);
+        return out.size() < n;
+      };
+      tree_->scan_tree(seq_, &lo, &hi, take);
+      return out;
+    }
+
+    std::size_t size() const {
+      std::size_t n = 0;
+      auto count = [&n](const Key&) { ++n; };
+      tree_->scan_tree(seq_, nullptr, nullptr, count);
+      return n;
+    }
+
+    // Smallest key >= k in this version, or nullopt. Wait-free.
+    std::optional<Key> successor(const Key& k) const {
+      return tree_->bound_query(seq_, k, /*forward=*/true);
+    }
+
+    // Largest key <= k in this version, or nullopt. Wait-free.
+    std::optional<Key> predecessor(const Key& k) const {
+      return tree_->bound_query(seq_, k, /*forward=*/false);
+    }
+
+    // Smallest / largest key in this version.
+    std::optional<Key> min() const { return tree_->extreme(seq_, true); }
+    std::optional<Key> max() const { return tree_->extreme(seq_, false); }
+
+   private:
+    friend class PnbBst;
+    Snapshot(PnbBst* tree, std::uint64_t seq, typename R::Guard&& guard)
+        : tree_(tree), seq_(seq), guard_(std::move(guard)) {}
+
+    PnbBst* tree_;
+    std::uint64_t seq_;
+    typename R::Guard guard_;
+  };
+
+  Snapshot snapshot() {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    const std::uint64_t seq =
+        counter_.fetch_add(1, std::memory_order_seq_cst);
+    return Snapshot(this, seq, std::move(guard));
+  }
+
+  // One-shot ordered queries on the live set. Each starts a new phase (like
+  // a width-0 range scan) and is wait-free and linearizable.
+  std::optional<Key> successor(const Key& k) {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    return bound_query(counter_.fetch_add(1, std::memory_order_seq_cst), k,
+                       /*forward=*/true);
+  }
+  std::optional<Key> predecessor(const Key& k) {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    return bound_query(counter_.fetch_add(1, std::memory_order_seq_cst), k,
+                       /*forward=*/false);
+  }
+  std::optional<Key> min() {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    return extreme(counter_.fetch_add(1, std::memory_order_seq_cst), true);
+  }
+  std::optional<Key> max() {
+    auto guard = reclaimer_->pin();
+    stats_.inc_scans();
+    return extreme(counter_.fetch_add(1, std::memory_order_seq_cst), false);
+  }
+
+  // --- Introspection ---------------------------------------------------------
+
+  Stats& stats() noexcept { return stats_; }
+  const Stats& stats() const noexcept { return stats_; }
+  R& reclaimer() noexcept { return *reclaimer_; }
+
+  // Current phase number (number of scans started so far).
+  std::uint64_t phase() const noexcept {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  // Debug/validation access (quiescent use only; see core/validate.h).
+  Internal* debug_root() noexcept { return root_; }
+  const Internal* debug_root() const noexcept { return root_; }
+  const Info* debug_dummy() const noexcept { return dummy_; }
+
+ private:
+  struct SearchResult {
+    Internal* gp;
+    Internal* p;
+    Node* l;
+  };
+  struct LinkCheck {
+    bool ok;
+    Update up;
+  };
+  struct LeafCheck {
+    bool ok;
+    Update gpup;
+    Update pup;
+  };
+  enum class ExecResult { kSuccess, kFailNotPublished, kFailPublished };
+
+  // --- Traversal -------------------------------------------------------------
+
+  // ReadChild (Fig. 3, lines 43–48): version-seq child of p.
+  Node* read_child(Internal* p, bool go_left, std::uint64_t seq) {
+    Node* l = p->load_child(go_left);
+    while (l->seq > seq) l = l->prev;
+    return l;
+  }
+
+  // Search (Fig. 3, lines 32–42): walks T_seq to a leaf.
+  SearchResult search(const Key& k, std::uint64_t seq) {
+    Internal* gp = nullptr;
+    Internal* p = nullptr;
+    Node* l = root_;
+    while (!l->is_leaf()) {
+      gp = p;
+      p = as_internal(l);
+      l = read_child(p, less_(k, p->key), seq);
+    }
+    return {gp, p, l};
+  }
+
+  // ValidateLink (Fig. 3, lines 49–59).
+  LinkCheck validate_link(Internal* parent, Node* child, bool left) {
+    const Update up = parent->load_update();
+    if (frozen<Key>(up)) {
+      stats_.inc_helps();
+      help(up.info());
+      return {false, Update{}};
+    }
+    if (child != parent->load_child(left)) return {false, Update{}};
+    return {true, up};
+  }
+
+  // ValidateLeaf (Fig. 3, lines 60–68). The final re-read of p->update is
+  // the linearization point of Find and of unsuccessful updates.
+  LeafCheck validate_leaf(Internal* gp, Internal* p, Node* l, const Key& k) {
+    Update gpup{};
+    const LinkCheck c1 = validate_link(p, l, less_(k, p->key));
+    bool validated = c1.ok;
+    const Update pup = c1.up;
+    if (validated && p != root_) {
+      const LinkCheck c2 = validate_link(gp, p, less_(k, gp->key));
+      validated = c2.ok;
+      gpup = c2.up;
+    }
+    if (validated) {
+      validated = p->load_update() == pup &&
+                  (p == root_ || gp->load_update() == gpup);
+    }
+    return {validated, gpup, pup};
+  }
+
+  // --- Update machinery --------------------------------------------------------
+
+  // Execute (Fig. 4, lines 92–106).
+  ExecResult execute(Node* const* nodes, const Update* old_up, int n,
+                     Internal* par, Node* old_child, Node* new_child,
+                     std::uint64_t seq, bool from_delete) {
+    for (int i = 0; i < n; ++i) {
+      if (frozen<Key>(old_up[i])) {
+        if (old_up[i].info()->state_in_progress()) {
+          stats_.inc_helps();
+          help(old_up[i].info());
+        }
+        return ExecResult::kFailNotPublished;
+      }
+    }
+    Info* infp = new Info;
+    stats_.inc_infos_allocated();
+    infp->num_nodes = static_cast<std::uint8_t>(n);
+    infp->from_delete = from_delete;
+    for (int i = 0; i < n; ++i) {
+      infp->nodes[i] = nodes[i];
+      infp->old_update[i] = old_up[i];
+    }
+    infp->par = par;
+    infp->old_child = old_child;
+    infp->new_child = new_child;
+    infp->seq = seq;
+    infp->reclaim_ctx = reclaimer_;
+    infp->retire_fn = &retire_info_thunk;
+
+    infp->ref_acquire();  // pre-increment for the first freeze CAS
+    if (nodes[0]->cas_update(old_up[0], Update(FreezeType::kFlag, infp))) {
+      release_overwritten(old_up[0]);
+      return help(infp) ? ExecResult::kSuccess : ExecResult::kFailPublished;
+    }
+    delete infp;  // never published; no other thread can hold it
+    return ExecResult::kFailNotPublished;
+  }
+
+  // Help (Fig. 4, lines 107–128). Callable on any thread's Info.
+  bool help(Info* infp) {
+    // Handshaking (lines 111–113): abort if the phase moved past ours.
+    if (counter_.load(std::memory_order_seq_cst) != infp->seq) {
+      InfoState expected = InfoState::kUndecided;
+      if (infp->state.compare_exchange_strong(expected, InfoState::kAbort,
+                                              std::memory_order_seq_cst)) {
+        stats_.inc_handshake_aborts();
+      }
+    } else {
+      InfoState expected = InfoState::kUndecided;
+      infp->state.compare_exchange_strong(expected, InfoState::kTry,
+                                          std::memory_order_seq_cst);
+    }
+    bool cont = infp->load_state() == InfoState::kTry;
+
+    // Freeze the remaining nodes in order (lines 115–121).
+    for (int i = 1; cont && i < infp->num_nodes; ++i) {
+      const FreezeType ft =
+          infp->is_marked_index(i) ? FreezeType::kMark : FreezeType::kFlag;
+      const Update expected = infp->old_update[i];
+      infp->ref_acquire();  // pre-increment (see core/info.h)
+      if (infp->nodes[i]->cas_update(expected, Update(ft, infp))) {
+        release_overwritten(expected);
+      } else {
+        release_info(infp);
+      }
+      cont = infp->nodes[i]->load_update().info() == infp;
+    }
+
+    if (cont) {
+      const bool swung =
+          cas_child(infp->par, infp->old_child, infp->new_child);
+      infp->state.store(InfoState::kCommit,
+                        std::memory_order_seq_cst);  // commit write
+      if (swung) retire_unlinked(infp);
+    } else if (infp->load_state() == InfoState::kTry) {
+      infp->state.store(InfoState::kAbort,
+                        std::memory_order_seq_cst);  // abort write
+      stats_.inc_freeze_fail_aborts();
+    }
+    return infp->load_state() == InfoState::kCommit;
+  }
+
+  // CAS-Child (Fig. 3, lines 83–88). Returns whether *our* CAS applied it.
+  bool cas_child(Internal* parent, Node* old_child, Node* new_child) {
+    const bool go_left = less_(new_child->key, parent->key);
+    Node* expected = old_child;
+    const bool ok = parent->child(go_left).compare_exchange_strong(
+        expected, new_child, std::memory_order_seq_cst);
+    if (!ok) stats_.inc_child_cas_failures();
+    return ok;
+  }
+
+  void help_if_in_progress(Internal* in) {
+    Info* infp = in->load_update().info();
+    if (!infp->is_dummy && infp->state_in_progress()) {
+      stats_.inc_scan_helps();
+      help(infp);
+    }
+  }
+
+  // ScanHelper (Fig. 4, lines 134–146), iterative. lo/hi may be null for an
+  // unbounded scan. Emits finite keys in ascending order. The visitor may
+  // return void (visit everything) or bool (false stops the traversal — the
+  // emitted keys are then the smallest keys of the range, still a
+  // linearizable prefix of the version's range contents).
+  template <class Visitor>
+  void scan_tree(std::uint64_t seq, const Key* lo, const Key* hi,
+                 Visitor& vis) {
+    std::vector<Node*> stack;
+    stack.reserve(64);
+    stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      if (node->is_leaf()) {
+        if (node->key.is_finite() &&
+            (lo == nullptr || !less_.cmp(node->key.key, *lo)) &&
+            (hi == nullptr || !less_.cmp(*hi, node->key.key))) {
+          if constexpr (std::is_void_v<decltype(vis(node->key.key))>) {
+            vis(node->key.key);
+          } else {
+            if (!vis(node->key.key)) return;
+          }
+        }
+        continue;
+      }
+      Internal* in = as_internal(node);
+      help_if_in_progress(in);
+      const bool skip_left = lo != nullptr && less_(in->key, *lo);   // a > key
+      const bool skip_right = hi != nullptr && less_(*hi, in->key);  // b < key
+      // Push right before left so leaves are visited in key order.
+      if (!skip_right) stack.push_back(read_child(in, false, seq));
+      if (!skip_left) stack.push_back(read_child(in, true, seq));
+    }
+  }
+
+  // --- Ordered queries -------------------------------------------------------
+
+  // Successor (forward=true: smallest key >= k) or predecessor
+  // (forward=false: largest key <= k) in T_seq. Helps in-progress updates
+  // along the traversed paths, exactly like ScanHelper.
+  std::optional<Key> bound_query(std::uint64_t seq, const Key& k,
+                                 bool forward) {
+    Node* node = root_;
+    Internal* pivot = nullptr;  // deepest turn away from the answer side
+    while (!node->is_leaf()) {
+      Internal* in = as_internal(node);
+      help_if_in_progress(in);
+      const bool go_left = less_(k, in->key);
+      // Successor candidates live right of a left turn; predecessor
+      // candidates live left of a right turn.
+      if (forward == go_left) pivot = in;
+      node = read_child(in, go_left, seq);
+    }
+    if (node->key.is_finite()) {
+      const Key& leaf_key = node->key.key;
+      if (forward ? !less_.cmp(leaf_key, k) : !less_.cmp(k, leaf_key)) {
+        return leaf_key;
+      }
+    }
+    if (pivot == nullptr) return std::nullopt;
+    // Extreme leaf of the candidate subtree: leftmost for successor,
+    // rightmost for predecessor.
+    Node* cur = read_child(pivot, /*go_left=*/!forward, seq);
+    while (!cur->is_leaf()) {
+      Internal* in = as_internal(cur);
+      help_if_in_progress(in);
+      cur = read_child(in, /*go_left=*/forward, seq);
+    }
+    if (!cur->key.is_finite()) return std::nullopt;
+    return cur->key.key;
+  }
+
+  // Minimum / maximum finite key of T_seq.
+  std::optional<Key> extreme(std::uint64_t seq, bool minimum) {
+    if (minimum) {
+      Node* cur = root_;
+      while (!cur->is_leaf()) {
+        Internal* in = as_internal(cur);
+        help_if_in_progress(in);
+        cur = read_child(in, /*go_left=*/true, seq);
+      }
+      // The leftmost leaf is the smallest finite key, or ∞1 when empty.
+      if (!cur->key.is_finite()) return std::nullopt;
+      return cur->key.key;
+    }
+    // Maximum: inside the root's left subtree, ∞1-keyed internals hide the
+    // ∞1 sentinel in their right subtree, so the largest finite key is left
+    // of them and right of every finite-keyed internal.
+    help_if_in_progress(root_);
+    Node* cur = read_child(root_, /*go_left=*/true, seq);
+    while (!cur->is_leaf()) {
+      Internal* in = as_internal(cur);
+      help_if_in_progress(in);
+      cur = read_child(in, /*go_left=*/!in->key.is_finite(), seq);
+    }
+    if (!cur->key.is_finite()) return std::nullopt;
+    return cur->key.key;
+  }
+
+  // --- Bulk loading -----------------------------------------------------------
+
+  // Builds a balanced leaf-oriented subtree over leaves[lo, hi); internal
+  // keys are the minimum of their right subtree, per the BST property.
+  Node* build_balanced(const std::vector<EK>& leaves, std::size_t lo,
+                       std::size_t hi) {
+    if (hi - lo == 1) return make_leaf(leaves[lo], 0, nullptr);
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    Internal* in = make_internal(leaves[mid], 0, nullptr);
+    in->left.store(build_balanced(leaves, lo, mid),
+                   std::memory_order_relaxed);
+    in->right.store(build_balanced(leaves, mid, hi),
+                    std::memory_order_relaxed);
+    return in;
+  }
+
+  // --- Memory management -------------------------------------------------------
+
+  Leaf* make_leaf(const EK& k, std::uint64_t seq, Node* prev) {
+    auto* l = new Leaf;
+    l->key = k;
+    l->seq = seq;
+    l->prev = prev;
+    l->store_update(Update(FreezeType::kFlag, dummy_),
+                    std::memory_order_relaxed);
+    stats_.inc_nodes_allocated();
+    return l;
+  }
+
+  Internal* make_internal(const EK& k, std::uint64_t seq, Node* prev) {
+    auto* in = new Internal;
+    in->key = k;
+    in->seq = seq;
+    in->prev = prev;
+    in->store_update(Update(FreezeType::kFlag, dummy_),
+                     std::memory_order_relaxed);
+    stats_.inc_nodes_allocated();
+    return in;
+  }
+
+  // Retires the nodes a successful child CAS unlinked: exactly I.mark
+  // (insert: the replaced leaf; delete: p, l and sibling). Only the thread
+  // whose child CAS succeeded calls this, so each node is retired once.
+  void retire_unlinked(Info* infp) {
+    for (int i = 1; i < infp->num_nodes; ++i) retire_node(infp->nodes[i]);
+  }
+
+  void retire_node(Node* n) {
+    reclaimer_->retire(static_cast<void*>(n), &node_deleter);
+  }
+
+  // Deletes a speculative node that was never made visible to any thread.
+  void delete_unpublished(Node* n) {
+    if (n == nullptr) return;
+    if (n->is_leaf()) {
+      delete static_cast<Leaf*>(n);
+    } else {
+      delete static_cast<Internal*>(n);
+    }
+  }
+
+  // Drops a reference on the Info whose installation a freeze CAS just
+  // overwrote (or whose node is being freed).
+  static void release_overwritten(Update overwritten) {
+    release_info(overwritten.info());
+  }
+
+  static void release_info(Info* infp) {
+    if (infp == nullptr || infp->is_dummy) return;
+    if (infp->ref_release()) {
+      infp->retire_fn(infp->reclaim_ctx, infp);
+    }
+  }
+
+  static void retire_info_thunk(void* ctx, Info* infp) {
+    static_cast<R*>(ctx)->retire(
+        static_cast<void*>(infp),
+        [](void* p) { delete static_cast<Info*>(p); });
+  }
+
+  // Final deleter for tree nodes: drops the node's last Info reference.
+  static void node_deleter(void* p) {
+    Node* n = static_cast<Node*>(p);
+    release_info(n->load_update(std::memory_order_relaxed).info());
+    if (n->is_leaf()) {
+      delete static_cast<Leaf*>(n);
+    } else {
+      delete static_cast<Internal*>(n);
+    }
+  }
+
+  // --- Members -------------------------------------------------------------------
+
+  [[no_unique_address]] ExtKeyLess<Key, Compare> less_{};
+  R* reclaimer_;
+  Internal* root_ = nullptr;
+  Info* dummy_ = nullptr;
+  alignas(kCacheLine) std::atomic<std::uint64_t> counter_{0};
+  Stats stats_{};
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,121 @@
+// PnbMap — an ordered key/value map layered on PnbBst.
+//
+// Entries are (key, value) structs compared by key only; the tree stores
+// whole entries in its leaves, so lookups return the stored value. Insert
+// has insert-if-absent semantics, matching the underlying set (the paper's
+// structure has no in-place value update; `assign` is erase+insert and is
+// therefore NOT atomic — documented).
+//
+// All guarantees carry over: non-blocking updates/lookups, wait-free
+// linearizable range queries and snapshots.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/pnb_bst.h"
+
+namespace pnbbst {
+
+template <class K, class V>
+struct MapEntry {
+  K key{};
+  V value{};
+};
+
+template <class K, class V, class Compare = std::less<K>>
+struct MapEntryLess {
+  [[no_unique_address]] Compare cmp{};
+  bool operator()(const MapEntry<K, V>& a, const MapEntry<K, V>& b) const {
+    return cmp(a.key, b.key);
+  }
+};
+
+template <class K, class V, class Compare = std::less<K>,
+          class R = EpochReclaimer, class Stats = NullOpStats>
+class PnbMap {
+ public:
+  using Entry = MapEntry<K, V>;
+  using Tree = PnbBst<Entry, MapEntryLess<K, V, Compare>, R, Stats>;
+
+  explicit PnbMap(R& reclaimer = R::shared()) : tree_(reclaimer) {}
+
+  // Inserts (k, v) if k is absent; returns false (leaving the existing
+  // value untouched) otherwise.
+  bool insert(const K& k, const V& v) { return tree_.insert(Entry{k, v}); }
+
+  bool erase(const K& k) { return tree_.erase(Entry{k, V{}}); }
+
+  bool contains(const K& k) { return tree_.contains(Entry{k, V{}}); }
+
+  // The value stored under k, if any. Linearizable.
+  std::optional<V> get(const K& k) {
+    auto entry = tree_.get(Entry{k, V{}});
+    if (!entry) return std::nullopt;
+    return entry->value;
+  }
+
+  // Replaces the value under k by erase+insert. NOT atomic: a concurrent
+  // reader may observe the key briefly absent. Returns true if a previous
+  // mapping existed.
+  bool assign(const K& k, const V& v) {
+    const bool existed = tree_.erase(Entry{k, V{}});
+    tree_.insert(Entry{k, v});
+    return existed;
+  }
+
+  // Visits entries with keys in [lo, hi] in ascending key order;
+  // wait-free and linearizable.
+  template <class Visitor>
+  void range_visit(const K& lo, const K& hi, Visitor&& vis) {
+    tree_.range_visit(Entry{lo, V{}}, Entry{hi, V{}},
+                      [&vis](const Entry& e) { vis(e.key, e.value); });
+  }
+
+  std::vector<std::pair<K, V>> range_scan(const K& lo, const K& hi) {
+    std::vector<std::pair<K, V>> out;
+    range_visit(lo, hi,
+                [&out](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  std::size_t range_count(const K& lo, const K& hi) {
+    return tree_.range_count(Entry{lo, V{}}, Entry{hi, V{}});
+  }
+
+  std::size_t size() { return tree_.size(); }
+  bool empty() { return tree_.empty(); }
+
+  // Snapshot of the map at one phase.
+  class Snapshot {
+   public:
+    bool contains(const K& k) const {
+      return snap_.contains(Entry{k, V{}});
+    }
+    std::size_t size() const { return snap_.size(); }
+    template <class Visitor>
+    void range_visit(const K& lo, const K& hi, Visitor&& vis) const {
+      snap_.range_visit(Entry{lo, V{}}, Entry{hi, V{}},
+                        [&vis](const Entry& e) { vis(e.key, e.value); });
+    }
+    std::uint64_t phase() const { return snap_.phase(); }
+
+   private:
+    friend class PnbMap;
+    explicit Snapshot(typename Tree::Snapshot&& snap)
+        : snap_(std::move(snap)) {}
+    typename Tree::Snapshot snap_;
+  };
+
+  Snapshot snapshot() { return Snapshot(tree_.snapshot()); }
+
+  Stats& stats() noexcept { return tree_.stats(); }
+  Tree& underlying() noexcept { return tree_; }
+
+ private:
+  Tree tree_;
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,50 @@
+// The one-CAS-word `update` field: {Flag, Mark} × Info* (Fig. 2, lines 1–4).
+//
+// Info records are allocated with alignment >= 8, so the low pointer bit is
+// free to encode the freeze type. The whole pair is read, compared and CASed
+// as a single uintptr_t, exactly matching the paper's "stored in one CAS
+// word" requirement.
+#pragma once
+
+#include <cstdint>
+
+namespace pnbbst {
+
+enum class FreezeType : std::uintptr_t {
+  kFlag = 0,
+  kMark = 1,
+};
+
+template <class InfoT>
+class TaggedUpdate {
+ public:
+  constexpr TaggedUpdate() noexcept : bits_(0) {}
+  constexpr explicit TaggedUpdate(std::uintptr_t raw) noexcept : bits_(raw) {}
+  TaggedUpdate(FreezeType type, InfoT* info) noexcept
+      : bits_(reinterpret_cast<std::uintptr_t>(info) |
+              static_cast<std::uintptr_t>(type)) {}
+
+  FreezeType type() const noexcept {
+    return static_cast<FreezeType>(bits_ & kTagMask);
+  }
+  InfoT* info() const noexcept {
+    return reinterpret_cast<InfoT*>(bits_ & ~kTagMask);
+  }
+  std::uintptr_t raw() const noexcept { return bits_; }
+
+  bool is_flag() const noexcept { return type() == FreezeType::kFlag; }
+  bool is_mark() const noexcept { return type() == FreezeType::kMark; }
+
+  friend bool operator==(TaggedUpdate a, TaggedUpdate b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(TaggedUpdate a, TaggedUpdate b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  static constexpr std::uintptr_t kTagMask = 1;
+  std::uintptr_t bits_;
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,220 @@
+// Quiescent-state invariant checker for PNB-BST.
+//
+// Checks the proof obligations that are decidable from a memory snapshot:
+//   - Invariant 36: every version tree T_i (0 <= i <= current phase) is a
+//     binary search tree with correct key ranges,
+//   - Invariant 4.10: internal nodes have non-null children and every prev
+//     chain from a child reaches a node with seq <= the version queried,
+//   - leaf-orientation: T_i is a full binary tree whose rightmost spine
+//     carries the ∞ sentinels,
+//   - acyclicity of child+prev edges (Lemma 43),
+//   - seq monotonicity: node.seq <= phase counter (Observation 3).
+//
+// Must only be called while no other thread is operating on the tree.
+//
+// Reclamation caveat: with EpochReclaimer, nodes of *old* versions are
+// freed once no operation can reach them, so `prev` chains from live nodes
+// may dangle (by design — see reclaim/reclaimer.h). Therefore:
+//   - check_current() / keys_current() are sound under ANY reclaimer: the
+//     current version T_phase never follows a prev pointer (every node's
+//     seq is <= the phase counter, Observation 3);
+//   - check_version() / check_invariants() / keys_at_version() walk prev
+//     chains and REQUIRE that nothing has been freed (LeakyReclaimer, or an
+//     EpochReclaimer that has not reclaimed yet).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/keyspace.h"
+#include "core/node.h"
+
+namespace pnbbst {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string error;
+  std::size_t reachable_nodes = 0;  // child+prev DAG size
+  std::size_t versions_checked = 0;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+namespace detail {
+
+template <class Tree>
+void collect_dag(typename Tree::Node* n,
+                 std::set<typename Tree::Node*>& seen) {
+  using Node = typename Tree::Node;
+  std::vector<Node*> stack{n};
+  while (!stack.empty()) {
+    Node* cur = stack.back();
+    stack.pop_back();
+    if (cur == nullptr || seen.count(cur)) continue;
+    seen.insert(cur);
+    if (!cur->is_leaf()) {
+      auto* in = as_internal(cur);
+      stack.push_back(in->left.load(std::memory_order_relaxed));
+      stack.push_back(in->right.load(std::memory_order_relaxed));
+    }
+    stack.push_back(cur->prev);
+  }
+}
+
+}  // namespace detail
+
+// Walks T_version and validates BST + structure invariants. `max_nodes`
+// bounds the traversal to detect cycles.
+template <class Tree>
+ValidationReport check_version(Tree& tree, std::uint64_t version,
+                               std::size_t max_nodes) {
+  using Node = typename Tree::Node;
+  using EK = typename Tree::EK;
+  ValidationReport rep;
+  ExtKeyLess<typename Tree::key_type> less;
+
+  struct Frame {
+    Node* node;
+    bool has_lo, has_hi;
+    EK lo, hi;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{tree.debug_root(), false, false, EK{}, EK{}});
+  std::size_t visited = 0;
+
+  auto fail = [&rep](const std::string& msg) {
+    rep.ok = false;
+    if (rep.error.empty()) rep.error = msg;
+  };
+
+  while (!stack.empty() && rep.ok) {
+    Frame f = stack.back();
+    stack.pop_back();
+    Node* n = f.node;
+    if (n == nullptr) {
+      fail("null node reached in version traversal");
+      break;
+    }
+    if (++visited > max_nodes) {
+      fail("traversal exceeded node budget: cycle suspected");
+      break;
+    }
+    if (n->seq > version) {
+      fail("version child resolution returned node with too-large seq");
+      break;
+    }
+    // Key-range discipline: lo <= key (exclusive lo? left subtree keys <
+    // parent key; right subtree keys >= parent key).
+    if (f.has_lo && less(n->key, f.lo)) {
+      fail("BST violation: key below lower bound");
+      break;
+    }
+    if (f.has_hi && !less(n->key, f.hi)) {
+      fail("BST violation: key not below upper bound");
+      break;
+    }
+    if (n->is_leaf()) continue;
+
+    auto* in = as_internal(n);
+    for (bool go_left : {true, false}) {
+      Node* c = in->load_child(go_left);
+      if (c == nullptr) {
+        fail("internal node with null child");
+        break;
+      }
+      // Resolve version-`version` child via prev chain (ReadChild).
+      std::size_t hops = 0;
+      while (c->seq > version) {
+        c = c->prev;
+        if (c == nullptr) {
+          fail("prev chain ended before reaching seq <= version");
+          break;
+        }
+        if (++hops > max_nodes) {
+          fail("prev chain too long: cycle suspected");
+          break;
+        }
+      }
+      if (!rep.ok || c == nullptr) break;
+      Frame child{c, f.has_lo, f.has_hi, f.lo, f.hi};
+      if (go_left) {
+        child.has_hi = true;
+        child.hi = in->key;
+      } else {
+        child.has_lo = true;
+        child.lo = in->key;
+      }
+      stack.push_back(child);
+    }
+  }
+  rep.versions_checked = 1;
+  return rep;
+}
+
+// Full audit: DAG collection + per-version checks. `version_stride` lets
+// large-phase histories sample versions instead of checking all of them.
+template <class Tree>
+ValidationReport check_invariants(Tree& tree, std::uint64_t version_stride = 1) {
+  using Node = typename Tree::Node;
+  ValidationReport rep;
+
+  std::set<Node*> dag;
+  detail::collect_dag<Tree>(tree.debug_root(), dag);
+  rep.reachable_nodes = dag.size();
+  const std::size_t budget = dag.size() + 16;
+
+  const std::uint64_t phases = tree.phase();
+  std::size_t checked = 0;
+  if (version_stride == 0) version_stride = 1;
+  for (std::uint64_t v = 0;; v += version_stride) {
+    ValidationReport r = check_version(tree, v, budget);
+    ++checked;
+    if (!r.ok) {
+      r.reachable_nodes = rep.reachable_nodes;
+      r.versions_checked = checked;
+      std::ostringstream os;
+      os << "version " << v << ": " << r.error;
+      r.error = os.str();
+      return r;
+    }
+    if (v >= phases) break;
+  }
+  rep.versions_checked = checked;
+  return rep;
+}
+
+// Validates the current version only. Sound under any reclaimer because
+// T_phase resolves every child without a prev hop.
+template <class Tree>
+ValidationReport check_current(Tree& tree, std::size_t max_nodes = 1u << 26) {
+  return check_version(tree, tree.phase(), max_nodes);
+}
+
+// Returns the finite keys of T_version in ascending order (quiescent).
+template <class Tree>
+std::vector<typename Tree::key_type> keys_at_version(Tree& tree,
+                                                     std::uint64_t version) {
+  using Node = typename Tree::Node;
+  std::vector<typename Tree::key_type> out;
+  std::vector<Node*> stack{tree.debug_root()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf()) {
+      if (n->key.is_finite()) out.push_back(n->key.key);
+      continue;
+    }
+    auto* in = as_internal(n);
+    for (bool go_left : {false, true}) {  // right first -> ascending pops
+      Node* c = in->load_child(go_left);
+      while (c != nullptr && c->seq > version) c = c->prev;
+      if (c != nullptr) stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace pnbbst

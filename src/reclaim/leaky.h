@@ -1,0 +1,47 @@
+// LeakyReclaimer — the "no reclamation" policy.
+//
+// retire() only counts; nothing is freed until process exit. This mirrors
+// the common research-artifact setup (e.g. setbench runs with reclamation
+// disabled) and serves as the baseline in the reclamation ablation
+// (bench/tab6_reclamation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pnbbst {
+
+class LeakyReclaimer {
+ public:
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard(Guard&&) noexcept = default;
+    Guard& operator=(Guard&&) noexcept = default;
+  };
+
+  Guard pin() noexcept { return Guard{}; }
+
+  void retire(void* /*ptr*/, void (*/*deleter*/)(void*)) noexcept {
+    retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t retired_count() const noexcept {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freed_count() const noexcept { return 0; }
+  std::uint64_t pending_count() const noexcept { return retired_count(); }
+
+  // Shared default instance (mirrors EpochReclaimer::shared()).
+  static LeakyReclaimer& shared() {
+    static LeakyReclaimer instance;
+    return instance;
+  }
+
+ private:
+  std::atomic<std::uint64_t> retired_{0};
+};
+
+}  // namespace pnbbst

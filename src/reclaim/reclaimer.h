@@ -1,0 +1,50 @@
+// Reclaimer policy concept shared by all concurrent data structures here.
+//
+// The paper's pseudocode assumes garbage collection: removed nodes stay
+// readable forever (RangeScans with old sequence numbers traverse them via
+// `prev` chains, Lemma 30). A C++ artifact must reclaim memory without
+// breaking those traversals. A policy class provides:
+//
+//   Guard pin()                       RAII epoch pin; every operation holds
+//                                     one for its full duration (including
+//                                     retries). While pinned, any pointer
+//                                     read from the structure stays valid.
+//   void retire(void*, void(*)(void*)) hand an unlinked object to the
+//                                     reclaimer; it is freed only after all
+//                                     pins that were active at retire time
+//                                     have been released.
+//
+// Two policies are provided:
+//   EpochReclaimer  — epoch-based reclamation (DEBRA-style, 3 limbo lists,
+//                     dynamic thread registry). The production policy.
+//   LeakyReclaimer  — never frees. Matches the research-artifact setting of
+//                     the paper's own experiments and isolates reclamation
+//                     cost in the ablation benchmarks (Tab.E6).
+//
+// Why retire-at-unlink is safe for PNB-BST: an operation that starts after
+// the child CAS that unlinked node u reads Counter >= I.seq, and
+// ReadChild() stops at the replacement node (whose seq field is I.seq)
+// before ever reaching u on a prev chain. Hence only operations already
+// pinned at retire time can reach u — exactly what an epoch grace period
+// waits for. (See DESIGN.md §1, substitution 1.)
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace pnbbst {
+
+template <class R>
+concept Reclaimer = requires(R r, void* p, void (*d)(void*)) {
+  { r.pin() };
+  { r.retire(p, d) };
+};
+
+// Convenience: type-safe retire helper usable with any policy.
+template <class R, class T>
+void retire_object(R& reclaimer, T* ptr) {
+  reclaimer.retire(static_cast<void*>(ptr),
+                   [](void* p) { delete static_cast<T*>(p); });
+}
+
+}  // namespace pnbbst

@@ -1,0 +1,44 @@
+// Bounded exponential backoff for CAS retry loops.
+//
+// The PNB-BST retry loops are helping-based and make progress without
+// backoff; this is purely a throughput knob for highly contended runs and is
+// disabled (kMaxSpin = 0) by default in the tree itself.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace pnbbst {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t max_spin = 1024) noexcept
+      : limit_(1), max_spin_(max_spin) {}
+
+  void pause() noexcept {
+    if (max_spin_ == 0) return;
+    for (std::uint32_t i = 0; i < limit_; ++i) {
+      cpu_relax();
+    }
+    if (limit_ < max_spin_) limit_ <<= 1;
+    if (limit_ >= max_spin_) std::this_thread::yield();
+  }
+
+  void reset() noexcept { limit_ = 1; }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  std::uint32_t limit_;
+  const std::uint32_t max_spin_;
+};
+
+}  // namespace pnbbst

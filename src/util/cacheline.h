@@ -1,0 +1,36 @@
+// Cache-line geometry and padding helpers.
+//
+// Concurrent counters and per-thread records are padded to a cache line to
+// avoid false sharing; the tree nodes themselves are *not* padded (they are
+// small and allocation-dominated), matching the paper's memory layout.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace pnbbst {
+
+// Fixed at 64 (the common x86-64/aarch64 value) rather than
+// std::hardware_destructive_interference_size, whose value shifts with
+// -mtune and would silently change struct layouts across builds.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wraps a value in a full cache line so adjacent instances never share one.
+template <class T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad up to a full line even when T is smaller; alignas handles the rest.
+  char pad_[kCacheLine > sizeof(T) ? kCacheLine - sizeof(T) : 1] = {};
+};
+
+}  // namespace pnbbst

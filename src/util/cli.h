@@ -1,0 +1,44 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Supports "--name=value", "--name value" and boolean "--name". Unknown
+// flags are an error (typos in sweep scripts should fail loudly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pnbbst {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Comma-separated integer list, e.g. --threads=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  // Marks a flag as recognized (for unknown-flag reporting).
+  void note(const std::string& name) const;
+
+  // Returns names given on the command line but never queried; call at the
+  // end of flag processing to reject typos.
+  std::vector<std::string> unknown() const;
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace pnbbst

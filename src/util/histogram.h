@@ -1,0 +1,90 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// Buckets are HdrHistogram-style: 64 major (power-of-two) groups with
+// kSubBuckets linear sub-buckets each, giving ~1.6% relative error across
+// the full 64-bit nanosecond range with a fixed, allocation-free footprint.
+// Recording is wait-free per thread; merge() combines per-thread histograms.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnbbst {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBits = 6;  // 64 sub-buckets per octave
+  static constexpr std::size_t kSubBuckets = 1u << kSubBits;
+  static constexpr std::size_t kBuckets = (64 - kSubBits) * kSubBuckets;
+
+  Histogram() : counts_(kBuckets, 0) {}
+
+  void record(std::uint64_t value) noexcept {
+    ++counts_[index_for(value)];
+    ++total_;
+    if (value > max_seen_) max_seen_ = value;
+    sum_ += value;
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_seen_ > max_seen_) max_seen_ = other.max_seen_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t max() const noexcept { return max_seen_; }
+  double mean() const noexcept {
+    return total_ ? static_cast<double>(sum_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  // Value at quantile q in [0,1]; returns the representative (midpoint)
+  // value of the containing bucket.
+  std::uint64_t quantile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p90() const noexcept { return quantile(0.90); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+  std::uint64_t p999() const noexcept { return quantile(0.999); }
+
+  void reset() noexcept {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0;
+    max_seen_ = 0;
+  }
+
+  // Human-readable one-line summary (ns assumed).
+  std::string summary() const;
+
+  static std::size_t index_for(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int msb = 63 - __builtin_clzll(value);
+    const auto shift = static_cast<unsigned>(msb) - kSubBits;
+    const std::size_t sub = (value >> shift) & (kSubBuckets - 1);
+    return (static_cast<std::size_t>(msb) - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  static std::uint64_t value_for(std::size_t index) noexcept {
+    if (index < kSubBuckets) return index;
+    const std::size_t octave = index / kSubBuckets;     // >= 1
+    const std::size_t sub = index % kSubBuckets;
+    const unsigned shift = static_cast<unsigned>(octave) - 1;
+    const std::uint64_t base = (kSubBuckets + sub) << shift;
+    const std::uint64_t width = 1ull << shift;
+    return base + width / 2;  // midpoint
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,109 @@
+// Deterministic, fast pseudo-random generators for workloads and tests.
+//
+// splitmix64 seeds xoshiro256**; both are implemented from scratch (no
+// <random> engines on hot paths — std::mt19937_64 is an order of magnitude
+// slower and its stream is not stable across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pnbbst {
+
+// SplitMix64 — used for seeding and for cheap stateless mixing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// One-shot mix of a 64-bit value (stateless splitmix64 finalizer).
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_bounded(span));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p (p in [0,1]).
+  bool next_bernoulli(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+// Derives a stream seed for thread `tid` from a base seed: statistically
+// independent streams, fully reproducible.
+inline std::uint64_t thread_seed(std::uint64_t base, unsigned tid) noexcept {
+  return mix64(base ^ (0xA5A5A5A5DEADBEEFULL + tid * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace pnbbst

@@ -1,0 +1,45 @@
+// Sense-reversing spin barrier for synchronized benchmark starts.
+//
+// std::barrier parks threads in the kernel; for timed measurement windows we
+// want every thread to leave the barrier within a few cycles of each other,
+// so we spin (with a yield fallback for oversubscribed machines).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace pnbbst {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);  // release the others
+    } else {
+      // Spin a while, then yield — the CI box may have fewer cores than
+      // benchmark threads and a pure spin would deadlock progress.
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 1024) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace pnbbst

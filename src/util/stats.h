@@ -1,0 +1,47 @@
+// Streaming summary statistics (Welford) for benchmark repetitions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace pnbbst {
+
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept {
+    return n_ ? min_ : 0.0;
+  }
+  double max() const noexcept {
+    return n_ ? max_ : 0.0;
+  }
+  // Relative stddev in percent; 0 for degenerate inputs.
+  double rsd_percent() const noexcept {
+    return mean_ != 0.0 ? 100.0 * stddev() / std::fabs(mean_) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pnbbst

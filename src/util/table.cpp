@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+
+namespace pnbbst {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : header_[c];
+      std::fprintf(out, "%-*s%s", static_cast<int>(width[c]), cell.c_str(),
+                   c + 1 == header_.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& r : rows_) print_row(r);
+}
+
+static std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void Table::print_csv(std::FILE* out) const {
+  std::fputs(to_csv().c_str(), out);
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(c < r.size() ? r[c] : "");
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+}  // namespace pnbbst

@@ -1,0 +1,42 @@
+// Aligned-table and CSV reporters for benchmark output.
+//
+// Every bench binary prints (a) a human-readable aligned table — the "figure
+// row/series" the paper would show — and (b) an optional CSV dump for
+// plotting. Both views are produced from the same Table object.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pnbbst {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends one row; cells may be fewer than header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  // Renders aligned columns to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  // Renders RFC-4180-ish CSV.
+  void print_csv(std::FILE* out = stdout) const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pnbbst

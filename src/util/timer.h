@@ -1,0 +1,36 @@
+// Monotonic wall-clock timing helpers used by the bench harness and tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pnbbst {
+
+using Clock = std::chrono::steady_clock;
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+// Scoped stopwatch.
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+
+  void reset() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace pnbbst

@@ -1,0 +1,59 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+namespace pnbbst {
+namespace {
+
+// log1p(x)/x and expm1(x)/x with stable Taylor limits near zero.
+double helper1(double x) {
+  return std::fabs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+double helper2(double x) {
+  return std::fabs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 + x * x / 6.0;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const {
+  return std::exp(-theta_ * std::log(x));
+}
+
+// Integral of h: H(x) = (x^(1-theta) - 1) / (1 - theta), written via
+// helper2 so it stays finite as theta -> 1.
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;
+  return std::exp(helper1(t) * x);
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
+  if (theta_ <= 0.0) return rng.next_bounded(n_);
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // ranks are 0-based
+    }
+  }
+}
+
+}  // namespace pnbbst

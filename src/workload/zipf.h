@@ -1,0 +1,36 @@
+// Zipf-distributed key sampling (rejection-inversion, Hörmann & Derflinger),
+// the standard generator for skewed set workloads (YCSB uses the same
+// method). theta = 0 degenerates to uniform; theta -> 1 concentrates mass
+// on low ranks.
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace pnbbst {
+
+class ZipfSampler {
+ public:
+  // Samples ranks in [0, n). theta in [0, 1); theta == 0 is uniform.
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Xoshiro256& rng) const { return sample(rng); }
+  std::uint64_t sample(Xoshiro256& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace pnbbst

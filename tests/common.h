@@ -1,0 +1,63 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pnbbst::test {
+
+// Applies a deterministic random op stream to both `set` (the implementation
+// under test, via its adapter-like interface) and a std::set model, checking
+// every return value. Returns the final model.
+template <class SetLike>
+std::set<long> run_model_ops(SetLike& set, std::uint64_t seed, int ops,
+                             long key_range) {
+  std::set<long> model;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    const long k =
+        static_cast<long>(rng.next_bounded(static_cast<std::uint64_t>(key_range)));
+    switch (rng.next_bounded(3)) {
+      case 0: {
+        const bool expect = model.insert(k).second;
+        EXPECT_EQ(set.insert(k), expect) << "insert(" << k << ") op " << i;
+        break;
+      }
+      case 1: {
+        const bool expect = model.erase(k) > 0;
+        EXPECT_EQ(set.erase(k), expect) << "erase(" << k << ") op " << i;
+        break;
+      }
+      default: {
+        const bool expect = model.count(k) > 0;
+        EXPECT_EQ(set.contains(k), expect) << "contains(" << k << ") op " << i;
+        break;
+      }
+    }
+  }
+  return model;
+}
+
+// Keys of `model` restricted to [lo, hi].
+inline std::vector<long> model_range(const std::set<long>& model, long lo,
+                                     long hi) {
+  std::vector<long> out;
+  for (auto it = model.lower_bound(lo); it != model.end() && *it <= hi; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+inline bool is_sorted_unique(const std::vector<long>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] >= v[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace pnbbst::test

@@ -1,0 +1,180 @@
+// Brute-force linearizability checker for small concurrent histories over
+// the ordered-set specification (insert / erase / contains / range scan).
+//
+// Histories are recorded with a global logical clock (an atomic counter
+// ticked at invocation and response). The checker does a Wing–Gong style
+// DFS: repeatedly pick an operation that is minimal in the real-time order
+// (no other pending op responded before its invocation), apply it to a
+// std::set model, check the return value, recurse. Exponential, so keep
+// histories to ~12 operations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace pnbbst::test {
+
+enum class HistOp : std::uint8_t { kInsert, kErase, kContains, kScan };
+
+struct OpRecord {
+  HistOp op;
+  long key = 0;
+  long key2 = 0;  // scan upper bound
+  bool ret_bool = false;
+  std::vector<long> ret_scan;
+  std::uint64_t inv = 0;
+  std::uint64_t res = 0;
+};
+
+class HistoryRecorder {
+ public:
+  std::uint64_t tick() { return clock_.fetch_add(1) + 1; }
+
+  // Thread-safe append.
+  void add(OpRecord rec) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    history_.push_back(std::move(rec));
+  }
+
+  std::vector<OpRecord> take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(history_);
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  std::mutex mutex_;
+  std::vector<OpRecord> history_;
+};
+
+namespace detail {
+
+inline bool apply_matches(const OpRecord& r, std::set<long>& model) {
+  switch (r.op) {
+    case HistOp::kInsert: {
+      const bool ok = model.insert(r.key).second;
+      if (ok != r.ret_bool) {
+        if (ok) model.erase(r.key);
+        return false;
+      }
+      return true;
+    }
+    case HistOp::kErase: {
+      const bool ok = model.erase(r.key) > 0;
+      if (ok != r.ret_bool) {
+        if (ok) model.insert(r.key);
+        return false;
+      }
+      return true;
+    }
+    case HistOp::kContains:
+      return (model.count(r.key) > 0) == r.ret_bool;
+    case HistOp::kScan: {
+      std::vector<long> expect;
+      for (auto it = model.lower_bound(r.key);
+           it != model.end() && *it <= r.key2; ++it) {
+        expect.push_back(*it);
+      }
+      return expect == r.ret_scan;
+    }
+  }
+  return false;
+}
+
+inline void undo(const OpRecord& r, std::set<long>& model) {
+  switch (r.op) {
+    case HistOp::kInsert:
+      if (r.ret_bool) model.erase(r.key);
+      break;
+    case HistOp::kErase:
+      if (r.ret_bool) model.insert(r.key);
+      break;
+    default:
+      break;
+  }
+}
+
+inline bool dfs(const std::vector<OpRecord>& hist, std::vector<bool>& done,
+                std::size_t remaining, std::set<long>& model) {
+  if (remaining == 0) return true;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    if (done[i]) continue;
+    // i is schedulable only if no other pending op responded before i's
+    // invocation (real-time order).
+    bool minimal = true;
+    for (std::size_t j = 0; j < hist.size(); ++j) {
+      if (!done[j] && j != i && hist[j].res < hist[i].inv) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    if (!apply_matches(hist[i], model)) continue;
+    done[i] = true;
+    if (dfs(hist, done, remaining - 1, model)) return true;
+    done[i] = false;
+    undo(hist[i], model);
+  }
+  return false;
+}
+
+}  // namespace detail
+
+// True iff `history` has a linearization consistent with an initially-empty
+// ordered set (pass `initial` for a different starting state).
+inline bool is_linearizable(const std::vector<OpRecord>& history,
+                            std::set<long> initial = {}) {
+  std::vector<bool> done(history.size(), false);
+  return detail::dfs(history, done, history.size(), initial);
+}
+
+// Convenience wrappers that run an op against a tree and record it.
+template <class Tree>
+void recorded_insert(Tree& t, HistoryRecorder& rec, long k) {
+  OpRecord r;
+  r.op = HistOp::kInsert;
+  r.key = k;
+  r.inv = rec.tick();
+  r.ret_bool = t.insert(k);
+  r.res = rec.tick();
+  rec.add(std::move(r));
+}
+
+template <class Tree>
+void recorded_erase(Tree& t, HistoryRecorder& rec, long k) {
+  OpRecord r;
+  r.op = HistOp::kErase;
+  r.key = k;
+  r.inv = rec.tick();
+  r.ret_bool = t.erase(k);
+  r.res = rec.tick();
+  rec.add(std::move(r));
+}
+
+template <class Tree>
+void recorded_contains(Tree& t, HistoryRecorder& rec, long k) {
+  OpRecord r;
+  r.op = HistOp::kContains;
+  r.key = k;
+  r.inv = rec.tick();
+  r.ret_bool = t.contains(k);
+  r.res = rec.tick();
+  rec.add(std::move(r));
+}
+
+template <class Tree>
+void recorded_scan(Tree& t, HistoryRecorder& rec, long lo, long hi) {
+  OpRecord r;
+  r.op = HistOp::kScan;
+  r.key = lo;
+  r.key2 = hi;
+  r.inv = rec.tick();
+  r.ret_scan = t.range_scan(lo, hi);
+  r.res = rec.tick();
+  rec.add(std::move(r));
+}
+
+}  // namespace pnbbst::test

@@ -1,0 +1,53 @@
+#include "baseline/set_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pnbbst {
+namespace {
+
+template <class Tree>
+class AdapterTyped : public ::testing::Test {};
+
+using Implementations =
+    ::testing::Types<PnbBst<long>, NbBst<long>, LockedBst<long>, CowBst<long>>;
+
+TYPED_TEST_SUITE(AdapterTyped, Implementations);
+
+TYPED_TEST(AdapterTyped, UniformInterfaceWorks) {
+  TypeParam tree;
+  auto set = adapt(tree);
+  EXPECT_TRUE(set.insert(10));
+  EXPECT_FALSE(set.insert(10));
+  EXPECT_TRUE(set.contains(10));
+  EXPECT_FALSE(set.contains(11));
+  EXPECT_TRUE(set.insert(20));
+  EXPECT_TRUE(set.insert(30));
+  EXPECT_EQ(set.range_count(10, 30), 3u);
+  EXPECT_EQ(set.range_count(15, 25), 1u);
+  EXPECT_TRUE(set.erase(20));
+  EXPECT_FALSE(set.erase(20));
+  EXPECT_EQ(set.range_count(10, 30), 2u);
+}
+
+TYPED_TEST(AdapterTyped, NameIsNonEmpty) {
+  EXPECT_NE(std::string(SetAdapter<TypeParam>::kName), "");
+}
+
+TEST(Adapter, LinearizableScanFlags) {
+  EXPECT_TRUE(SetAdapter<PnbBst<long>>::kLinearizableScan);
+  EXPECT_FALSE(SetAdapter<NbBst<long>>::kLinearizableScan);
+  EXPECT_TRUE(SetAdapter<LockedBst<long>>::kLinearizableScan);
+  EXPECT_TRUE(SetAdapter<CowBst<long>>::kLinearizableScan);
+}
+
+TEST(Adapter, Names) {
+  EXPECT_STREQ(SetAdapter<PnbBst<long>>::kName, "pnb-bst");
+  EXPECT_STREQ(SetAdapter<NbBst<long>>::kName, "nb-bst");
+  EXPECT_STREQ(SetAdapter<LockedBst<long>>::kName, "locked-bst");
+  EXPECT_STREQ(SetAdapter<CowBst<long>>::kName, "cow-bst");
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,125 @@
+// Multiple epoch domains and multiple data structures sharing one domain:
+// pins and advances in one domain must not interfere with another, and a
+// shared domain must stay correct across structures.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "baseline/lf_skiplist.h"
+#include "core/pnb_bst.h"
+#include "nbbst/nb_bst.h"
+
+namespace pnbbst {
+namespace {
+
+TEST(MultiDomain, IndependentDomainsAdvanceIndependently) {
+  EpochReclaimer a, b;
+  auto guard = a.pin();  // pin only domain a
+  // Domain b must advance freely despite a's pin.
+  const auto b0 = b.epoch();
+  for (int i = 0; i < 10; ++i) b.try_advance();
+  EXPECT_GE(b.epoch(), b0 + 5);
+  // Domain a is stuck (our pin goes stale after one advance).
+  const auto a0 = a.epoch();
+  for (int i = 0; i < 10; ++i) a.try_advance();
+  EXPECT_LE(a.epoch(), a0 + 1);
+}
+
+TEST(MultiDomain, OneThreadUsesManyDomains) {
+  EpochReclaimer a, b, c;
+  int x = 0;
+  auto noop = [](void*) {};
+  a.retire(&x, noop);
+  b.retire(&x, noop);
+  c.retire(&x, noop);
+  EXPECT_EQ(a.retired_count(), 1u);
+  EXPECT_EQ(b.retired_count(), 1u);
+  EXPECT_EQ(c.retired_count(), 1u);
+  a.quiescent_flush();
+  b.quiescent_flush();
+  c.quiescent_flush();
+  EXPECT_EQ(a.pending_count(), 0u);
+  EXPECT_EQ(b.pending_count(), 0u);
+  EXPECT_EQ(c.pending_count(), 0u);
+}
+
+TEST(MultiDomain, TwoTreesShareOneDomain) {
+  EpochReclaimer dom;
+  {
+    PnbBst<long, std::less<long>, EpochReclaimer> t1(dom);
+    PnbBst<long, std::less<long>, EpochReclaimer> t2(dom);
+    std::vector<std::thread> pool;
+    for (unsigned ti = 0; ti < 4; ++ti) {
+      pool.emplace_back([&, ti] {
+        Xoshiro256 rng(thread_seed(60, ti));
+        for (int i = 0; i < 10000; ++i) {
+          const long k = static_cast<long>(rng.next_bounded(64));
+          auto& t = rng.next_bounded(2) ? t1 : t2;
+          if (rng.next_bounded(2)) {
+            t.insert(k);
+          } else {
+            t.erase(k);
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    // Both trees consistent.
+    EXPECT_LE(t1.size(), 64u);
+    EXPECT_LE(t2.size(), 64u);
+  }
+  dom.quiescent_flush();
+  EXPECT_EQ(dom.pending_count(), 0u);
+}
+
+TEST(MultiDomain, MixedStructuresShareOneDomain) {
+  EpochReclaimer dom;
+  {
+    PnbBst<long, std::less<long>, EpochReclaimer> tree(dom);
+    NbBst<long, std::less<long>, EpochReclaimer> nb(dom);
+    LfSkipList<long, std::less<long>, EpochReclaimer> skip(dom);
+    std::vector<std::thread> pool;
+    for (unsigned ti = 0; ti < 3; ++ti) {
+      pool.emplace_back([&, ti] {
+        Xoshiro256 rng(thread_seed(61, ti));
+        for (int i = 0; i < 10000; ++i) {
+          const long k = static_cast<long>(rng.next_bounded(64));
+          switch (rng.next_bounded(3)) {
+            case 0:
+              rng.next_bounded(2) ? tree.insert(k) : tree.erase(k);
+              break;
+            case 1:
+              rng.next_bounded(2) ? nb.insert(k) : nb.erase(k);
+              break;
+            default:
+              rng.next_bounded(2) ? skip.insert(k) : skip.erase(k);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  dom.quiescent_flush();
+  EXPECT_EQ(dom.pending_count(), 0u);
+}
+
+TEST(MultiDomain, PinInOneDomainDoesNotBlockAnother) {
+  EpochReclaimer pinned_dom, free_dom;
+  auto guard = pinned_dom.pin();
+  static std::atomic<int> freed{0};
+  freed.store(0);
+  for (int i = 0; i < 200; ++i) {
+    free_dom.retire(new int(i), [](void* p) {
+      freed.fetch_add(1);
+      delete static_cast<int*>(p);
+    });
+    free_dom.try_advance();
+  }
+  // The unpinned domain reclaims continuously.
+  EXPECT_GT(freed.load(), 0);
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,105 @@
+#include "core/keyspace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pnbbst {
+namespace {
+
+using EKL = ExtKey<long>;
+using LessL = ExtKeyLess<long>;
+
+TEST(Keyspace, FiniteOrdering) {
+  LessL less;
+  EXPECT_TRUE(less(EKL::finite(1), EKL::finite(2)));
+  EXPECT_FALSE(less(EKL::finite(2), EKL::finite(1)));
+  EXPECT_FALSE(less(EKL::finite(2), EKL::finite(2)));
+}
+
+TEST(Keyspace, SentinelsAboveAllFinite) {
+  LessL less;
+  for (long k : {-1000000000L, 0L, 1000000000L}) {
+    EXPECT_TRUE(less(EKL::finite(k), EKL::inf1()));
+    EXPECT_TRUE(less(EKL::finite(k), EKL::inf2()));
+    EXPECT_FALSE(less(EKL::inf1(), EKL::finite(k)));
+    EXPECT_FALSE(less(EKL::inf2(), EKL::finite(k)));
+  }
+}
+
+TEST(Keyspace, Inf1BelowInf2) {
+  LessL less;
+  EXPECT_TRUE(less(EKL::inf1(), EKL::inf2()));
+  EXPECT_FALSE(less(EKL::inf2(), EKL::inf1()));
+}
+
+TEST(Keyspace, SentinelsEqualThemselves) {
+  LessL less;
+  EXPECT_FALSE(less(EKL::inf1(), EKL::inf1()));
+  EXPECT_FALSE(less(EKL::inf2(), EKL::inf2()));
+  EXPECT_TRUE(less.equal(EKL::inf1(), EKL::inf1()));
+  EXPECT_TRUE(less.equal(EKL::inf2(), EKL::inf2()));
+}
+
+TEST(Keyspace, FiniteVsExtendedShortcuts) {
+  LessL less;
+  EXPECT_TRUE(less(5L, EKL::inf1()));
+  EXPECT_TRUE(less(5L, EKL::inf2()));
+  EXPECT_TRUE(less(5L, EKL::finite(6)));
+  EXPECT_FALSE(less(5L, EKL::finite(5)));
+  EXPECT_FALSE(less(EKL::inf1(), 5L));
+  EXPECT_TRUE(less(EKL::finite(4), 5L));
+  EXPECT_FALSE(less(EKL::finite(5), 5L));
+}
+
+TEST(Keyspace, EqualRequiresFinite) {
+  LessL less;
+  EXPECT_TRUE(less.equal(EKL::finite(9), 9L));
+  EXPECT_FALSE(less.equal(EKL::finite(9), 8L));
+  EXPECT_FALSE(less.equal(EKL::inf1(), 9L));
+  EXPECT_FALSE(less.equal(EKL::inf2(), 9L));
+}
+
+TEST(Keyspace, Max) {
+  LessL less;
+  EXPECT_TRUE(less.equal(less.max(EKL::finite(3), EKL::finite(7)), 7L));
+  EXPECT_EQ(less.max(EKL::finite(3), EKL::inf1()).cls, KeyClass::kInf1);
+  EXPECT_EQ(less.max(EKL::inf2(), EKL::finite(3)).cls, KeyClass::kInf2);
+  EXPECT_EQ(less.max(EKL::inf1(), EKL::inf2()).cls, KeyClass::kInf2);
+}
+
+TEST(Keyspace, IsFinite) {
+  EXPECT_TRUE(EKL::finite(0).is_finite());
+  EXPECT_FALSE(EKL::inf1().is_finite());
+  EXPECT_FALSE(EKL::inf2().is_finite());
+}
+
+TEST(Keyspace, CustomComparatorReverses) {
+  ExtKeyLess<long, std::greater<long>> less;
+  EXPECT_TRUE(less(ExtKey<long>::finite(9), ExtKey<long>::finite(1)));
+  // Sentinels still dominate regardless of comparator direction.
+  EXPECT_TRUE(less(ExtKey<long>::finite(9), ExtKey<long>::inf1()));
+}
+
+TEST(Keyspace, StringKeysWork) {
+  ExtKeyLess<std::string> less;
+  using EKS = ExtKey<std::string>;
+  EXPECT_TRUE(less(EKS::finite("apple"), EKS::finite("banana")));
+  EXPECT_TRUE(less(EKS::finite("zzzz"), EKS::inf1()));
+  EXPECT_TRUE(less.equal(EKS::finite("kiwi"), std::string("kiwi")));
+}
+
+TEST(Keyspace, TotalOrderOnMixedVector) {
+  LessL less;
+  // finite ascending, then inf1, then inf2 — a strict weak order.
+  std::vector<EKL> v = {EKL::finite(-5), EKL::finite(0), EKL::finite(5),
+                        EKL::inf1(), EKL::inf2()};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      EXPECT_EQ(less(v[i], v[j]), i < j) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnbbst

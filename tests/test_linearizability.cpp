@@ -1,0 +1,177 @@
+// Linearizability checks: first of the checker itself on hand-built
+// histories, then of PNB-BST on many small recorded concurrent histories
+// (randomized over seeds via TEST_P).
+#include "linearizability.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/pnb_bst.h"
+#include "util/random.h"
+
+namespace pnbbst {
+namespace {
+
+using test::HistOp;
+using test::HistoryRecorder;
+using test::OpRecord;
+
+OpRecord mk(HistOp op, long k, bool ret, std::uint64_t inv, std::uint64_t res) {
+  OpRecord r;
+  r.op = op;
+  r.key = k;
+  r.ret_bool = ret;
+  r.inv = inv;
+  r.res = res;
+  return r;
+}
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(test::is_linearizable({}));
+}
+
+TEST(Checker, SequentialLegalHistory) {
+  std::vector<OpRecord> h = {
+      mk(HistOp::kInsert, 1, true, 1, 2),
+      mk(HistOp::kContains, 1, true, 3, 4),
+      mk(HistOp::kErase, 1, true, 5, 6),
+      mk(HistOp::kContains, 1, false, 7, 8),
+  };
+  EXPECT_TRUE(test::is_linearizable(h));
+}
+
+TEST(Checker, SequentialIllegalHistoryRejected) {
+  // contains(1)=true before any insert — impossible.
+  std::vector<OpRecord> h = {
+      mk(HistOp::kContains, 1, true, 1, 2),
+      mk(HistOp::kInsert, 1, true, 3, 4),
+  };
+  EXPECT_FALSE(test::is_linearizable(h));
+}
+
+TEST(Checker, OverlappingOpsMayReorder) {
+  // insert(1) and contains(1)=true overlap: legal (contains linearizes
+  // after the insert's linearization point).
+  std::vector<OpRecord> h = {
+      mk(HistOp::kInsert, 1, true, 1, 4),
+      mk(HistOp::kContains, 1, true, 2, 3),
+  };
+  EXPECT_TRUE(test::is_linearizable(h));
+}
+
+TEST(Checker, RealTimeOrderEnforced) {
+  // contains(1)=false strictly AFTER insert(1) returned — illegal.
+  std::vector<OpRecord> h = {
+      mk(HistOp::kInsert, 1, true, 1, 2),
+      mk(HistOp::kContains, 1, false, 3, 4),
+  };
+  EXPECT_FALSE(test::is_linearizable(h));
+}
+
+TEST(Checker, DoubleSuccessfulInsertRejected) {
+  std::vector<OpRecord> h = {
+      mk(HistOp::kInsert, 7, true, 1, 2),
+      mk(HistOp::kInsert, 7, true, 3, 4),
+  };
+  EXPECT_FALSE(test::is_linearizable(h));
+}
+
+TEST(Checker, ScanResultValidated) {
+  OpRecord scan;
+  scan.op = HistOp::kScan;
+  scan.key = 0;
+  scan.key2 = 10;
+  scan.ret_scan = {1, 3};
+  scan.inv = 5;
+  scan.res = 6;
+  std::vector<OpRecord> h = {
+      mk(HistOp::kInsert, 1, true, 1, 2),
+      mk(HistOp::kInsert, 3, true, 3, 4),
+      scan,
+  };
+  EXPECT_TRUE(test::is_linearizable(h));
+  // A scan that misses key 1 while claiming key 3 cannot linearize.
+  h[2].ret_scan = {3};
+  EXPECT_FALSE(test::is_linearizable(h));
+}
+
+TEST(Checker, InitialStateRespected) {
+  std::vector<OpRecord> h = {mk(HistOp::kContains, 9, true, 1, 2)};
+  EXPECT_FALSE(test::is_linearizable(h));
+  EXPECT_TRUE(test::is_linearizable(h, {9}));
+}
+
+// --- Recorded histories from the real tree -------------------------------
+
+class PnbSmallHistories : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PnbSmallHistories, ThreeThreadsFourOpsEach) {
+  // 100 rounds per seed: 3 threads × 4 random ops on 3 keys, checked.
+  const std::uint64_t seed = GetParam();
+  for (int round = 0; round < 100; ++round) {
+    PnbBst<long> t;
+    HistoryRecorder rec;
+    std::vector<std::thread> pool;
+    for (unsigned ti = 0; ti < 3; ++ti) {
+      pool.emplace_back([&, ti] {
+        Xoshiro256 rng(thread_seed(seed + static_cast<std::uint64_t>(round),
+                                   ti));
+        for (int i = 0; i < 4; ++i) {
+          const long k = static_cast<long>(rng.next_bounded(3));
+          switch (rng.next_bounded(4)) {
+            case 0:
+              test::recorded_insert(t, rec, k);
+              break;
+            case 1:
+              test::recorded_erase(t, rec, k);
+              break;
+            case 2:
+              test::recorded_contains(t, rec, k);
+              break;
+            default:
+              test::recorded_scan(t, rec, 0, 2);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    const auto history = rec.take();
+    ASSERT_TRUE(test::is_linearizable(history))
+        << "non-linearizable history in round " << round << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PnbSmallHistories,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(PnbSmallHistories, ScanHeavyHistories) {
+  for (int round = 0; round < 100; ++round) {
+    PnbBst<long> t;
+    t.insert(0);
+    t.insert(2);
+    HistoryRecorder rec;
+    std::thread writer([&] {
+      Xoshiro256 rng(thread_seed(9000 + static_cast<std::uint64_t>(round), 0));
+      for (int i = 0; i < 5; ++i) {
+        const long k = static_cast<long>(rng.next_bounded(4));
+        if (rng.next_bounded(2)) {
+          test::recorded_insert(t, rec, k);
+        } else {
+          test::recorded_erase(t, rec, k);
+        }
+      }
+    });
+    std::thread scanner([&] {
+      for (int i = 0; i < 4; ++i) test::recorded_scan(t, rec, 0, 3);
+    });
+    writer.join();
+    scanner.join();
+    ASSERT_TRUE(test::is_linearizable(rec.take(), {0, 2}))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,224 @@
+// Concurrent correctness of PNB-BST updates and finds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/pnb_bst.h"
+#include "core/validate.h"
+
+namespace pnbbst {
+namespace {
+
+struct StressParam {
+  unsigned threads;
+  int ops_per_thread;
+  long key_range;
+};
+
+class PnbConcurrentStress : public ::testing::TestWithParam<StressParam> {};
+
+// Each thread owns a disjoint key partition, so every thread can check its
+// own operations' return values against a private model — full determinism
+// even though the tree itself is shared and physically contended.
+TEST_P(PnbConcurrentStress, PartitionedKeysMatchPrivateModels) {
+  const auto p = GetParam();
+  EpochReclaimer dom;
+  {
+    PnbBst<long, std::less<long>, EpochReclaimer> t(dom);
+    std::vector<std::thread> pool;
+    std::atomic<bool> failed{false};
+    for (unsigned ti = 0; ti < p.threads; ++ti) {
+      pool.emplace_back([&, ti] {
+        std::set<long> model;
+        Xoshiro256 rng(thread_seed(2024, ti));
+        const long base = static_cast<long>(ti) * p.key_range;
+        for (int i = 0; i < p.ops_per_thread && !failed; ++i) {
+          const long k =
+              base + static_cast<long>(
+                         rng.next_bounded(static_cast<std::uint64_t>(p.key_range)));
+          switch (rng.next_bounded(3)) {
+            case 0:
+              if (t.insert(k) != model.insert(k).second) failed = true;
+              break;
+            case 1:
+              if (t.erase(k) != (model.erase(k) > 0)) failed = true;
+              break;
+            default:
+              if (t.contains(k) != (model.count(k) > 0)) failed = true;
+              break;
+          }
+        }
+        // Final per-partition verification against the shared tree.
+        for (long k = base; k < base + p.key_range; ++k) {
+          if (t.contains(k) != (model.count(k) > 0)) failed = true;
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_FALSE(failed.load());
+    auto rep = check_current(t);
+    EXPECT_TRUE(rep.ok) << rep.error;
+  }
+  dom.quiescent_flush();
+  EXPECT_EQ(dom.pending_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PnbConcurrentStress,
+    ::testing::Values(StressParam{2, 20000, 128}, StressParam{4, 10000, 64},
+                      StressParam{4, 10000, 1024}, StressParam{8, 5000, 32},
+                      StressParam{8, 5000, 4096}));
+
+// Contended single-key hammer: the strictest interleaving test. The final
+// state must reflect a legal alternation (never two successful inserts
+// without an intervening successful erase).
+TEST(PnbConcurrent, SingleKeyAlternationInvariant) {
+  PnbBst<long> t;
+  constexpr unsigned kThreads = 8;
+  constexpr int kOps = 5000;
+  std::atomic<long> net{0};  // successful inserts - successful erases
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < kThreads; ++ti) {
+    pool.emplace_back([&, ti] {
+      Xoshiro256 rng(thread_seed(7, ti));
+      long local = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.next_bounded(2)) {
+          if (t.insert(42)) ++local;
+        } else {
+          if (t.erase(42)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : pool) th.join();
+  // net is 1 iff the key is present, 0 iff absent; anything else means a
+  // lost or duplicated update.
+  const long n = net.load();
+  ASSERT_TRUE(n == 0 || n == 1) << "net=" << n;
+  EXPECT_EQ(t.contains(42), n == 1);
+}
+
+// Mixed-key churn with global reconciliation: per-key net successful
+// inserts minus erases must equal final membership for every key.
+TEST(PnbConcurrent, PerKeyReconciliation) {
+  constexpr long kRange = 64;
+  constexpr unsigned kThreads = 6;
+  constexpr int kOps = 15000;
+  PnbBst<long> t;
+  std::vector<std::array<std::atomic<long>, kRange>> nets(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < kThreads; ++ti) {
+    for (auto& a : nets[ti]) a.store(0);
+    pool.emplace_back([&, ti] {
+      Xoshiro256 rng(thread_seed(2025, ti));
+      for (int i = 0; i < kOps; ++i) {
+        const long k = static_cast<long>(rng.next_bounded(kRange));
+        if (rng.next_bounded(2)) {
+          if (t.insert(k)) nets[ti][static_cast<size_t>(k)].fetch_add(1);
+        } else {
+          if (t.erase(k)) nets[ti][static_cast<size_t>(k)].fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (long k = 0; k < kRange; ++k) {
+    long net = 0;
+    for (unsigned ti = 0; ti < kThreads; ++ti) {
+      net += nets[ti][static_cast<size_t>(k)].load();
+    }
+    ASSERT_TRUE(net == 0 || net == 1) << "key " << k << " net " << net;
+    EXPECT_EQ(t.contains(k), net == 1) << "key " << k;
+  }
+  auto rep = check_current(t);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+// Readers running against writers: contains() must never crash, never hang,
+// and at quiescence agree with the reconciled state.
+TEST(PnbConcurrent, ReadersDuringWrites) {
+  PnbBst<long> t;
+  for (long k = 0; k < 512; k += 2) t.insert(k);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread reader([&] {
+    Xoshiro256 rng(1);
+    while (!stop) {
+      const long k = static_cast<long>(rng.next_bounded(512));
+      const bool r = t.contains(k);
+      // Odd keys are never inserted by anyone.
+      if (k % 2 == 1) ASSERT_FALSE(r);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (unsigned ti = 0; ti < 4; ++ti) {
+    writers.emplace_back([&, ti] {
+      Xoshiro256 rng(thread_seed(3, ti));
+      for (int i = 0; i < 20000; ++i) {
+        const long k = static_cast<long>(rng.next_bounded(256)) * 2;
+        if (rng.next_bounded(2)) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop = true;
+  reader.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// Duplicate-free insertion race: N threads all try to insert the same batch
+// of keys; each key must be claimed by exactly one thread.
+TEST(PnbConcurrent, ExactlyOneWinnerPerKey) {
+  PnbBst<long> t;
+  constexpr unsigned kThreads = 8;
+  constexpr long kKeys = 500;
+  std::atomic<long> wins{0};
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < kThreads; ++ti) {
+    pool.emplace_back([&] {
+      long local = 0;
+      for (long k = 0; k < kKeys; ++k) {
+        if (t.insert(k)) ++local;
+      }
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(kKeys));
+}
+
+// Symmetric erase race: exactly one thread wins each erase.
+TEST(PnbConcurrent, ExactlyOneEraserPerKey) {
+  PnbBst<long> t;
+  constexpr long kKeys = 500;
+  for (long k = 0; k < kKeys; ++k) t.insert(k);
+  std::atomic<long> wins{0};
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < 8; ++ti) {
+    pool.emplace_back([&] {
+      long local = 0;
+      for (long k = 0; k < kKeys; ++k) {
+        if (t.erase(k)) ++local;
+      }
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,150 @@
+// Ordered queries racing with updates: correctness properties that must
+// hold for any linearization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/pnb_bst.h"
+#include "core/pnb_map.h"
+
+namespace pnbbst {
+namespace {
+
+using Tree = PnbBst<long>;
+
+// Writers only ever touch odd keys; even keys are immutable spine.
+// successor() from an even key must always land on a key > it, and when it
+// returns an even key, it must be the immediately next even key or closer.
+TEST(OrderedConcurrent, SuccessorRespectsImmutableSpine) {
+  Tree t;
+  for (long k = 0; k <= 1000; k += 10) t.insert(k);  // spine: multiples of 10
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (unsigned ti = 0; ti < 3; ++ti) {
+    writers.emplace_back([&, ti] {
+      Xoshiro256 rng(thread_seed(808, ti));
+      while (!stop) {
+        const long k = static_cast<long>(rng.next_bounded(1000));
+        if (k % 10 == 0) continue;  // never touch the spine
+        if (rng.next_bounded(2)) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  Xoshiro256 rng(809);
+  for (int i = 0; i < 2000; ++i) {
+    const long q = static_cast<long>(rng.next_bounded(990));
+    const auto s = t.successor(q);
+    ASSERT_TRUE(s.has_value()) << "spine guarantees a successor for " << q;
+    ASSERT_GE(*s, q);
+    // The next spine key bounds the answer from above.
+    const long next_spine = ((q + 9) / 10) * 10;
+    ASSERT_LE(*s, next_spine) << "q=" << q;
+    const auto p = t.predecessor(q);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_LE(*p, q);
+    ASSERT_GE(*p, (q / 10) * 10);
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+}
+
+TEST(OrderedConcurrent, MinMaxBoundedByImmutableEndpoints) {
+  Tree t;
+  t.insert(-1000000);
+  t.insert(1000000);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 rng(810);
+    while (!stop) {
+      const long k = static_cast<long>(rng.next_bounded(2000)) - 1000;
+      if (rng.next_bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(t.min(), -1000000);
+    ASSERT_EQ(t.max(), 1000000);
+  }
+  stop = true;
+  writer.join();
+}
+
+// A snapshot's ordered queries must be mutually consistent: iterating via
+// successor() reproduces exactly range_scan() of the same snapshot.
+TEST(OrderedConcurrent, SnapshotSuccessorIterationMatchesScan) {
+  Tree t;
+  Xoshiro256 rng(811);
+  for (int i = 0; i < 500; ++i) {
+    t.insert(static_cast<long>(rng.next_bounded(2000)));
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 wrng(812);
+    while (!stop) {
+      const long k = static_cast<long>(wrng.next_bounded(2000));
+      if (wrng.next_bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    auto snap = t.snapshot();
+    const auto expect = snap.range_scan(0, 2000);
+    std::vector<long> via_succ;
+    auto cur = snap.min();
+    while (cur) {
+      via_succ.push_back(*cur);
+      cur = snap.successor(*cur + 1);
+    }
+    ASSERT_EQ(via_succ, expect) << "round " << round;
+  }
+  stop = true;
+  writer.join();
+}
+
+TEST(OrderedConcurrent, MapReadersSeeWholeValues) {
+  // Writers insert entries whose value is derived from the key; readers
+  // must never observe a mismatched pair (torn entry).
+  PnbMap<long, long> m;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> writers;
+  for (unsigned ti = 0; ti < 2; ++ti) {
+    writers.emplace_back([&, ti] {
+      Xoshiro256 rng(thread_seed(813, ti));
+      while (!stop) {
+        const long k = static_cast<long>(rng.next_bounded(256));
+        if (rng.next_bounded(2)) {
+          m.insert(k, k * 7 + 1);
+        } else {
+          m.erase(k);
+        }
+      }
+    });
+  }
+  Xoshiro256 rng(814);
+  for (int i = 0; i < 20000 && !failed; ++i) {
+    const long k = static_cast<long>(rng.next_bounded(256));
+    if (const auto v = m.get(k)) {
+      if (*v != k * 7 + 1) failed = true;
+    }
+  }
+  stop = true;
+  for (auto& th : writers) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace pnbbst

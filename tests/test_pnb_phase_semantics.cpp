@@ -1,0 +1,131 @@
+// Phase/linearization semantics at the API boundary: properties of the
+// paper's phase machinery that are observable without white-box access.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/pnb_bst.h"
+
+namespace pnbbst {
+namespace {
+
+using Tree = PnbBst<long>;
+
+TEST(PhaseSemantics, UpdatesDoNotAdvancePhases) {
+  Tree t;
+  const auto p0 = t.phase();
+  for (long k = 0; k < 1000; ++k) t.insert(k);
+  for (long k = 0; k < 1000; ++k) t.erase(k);
+  EXPECT_EQ(t.phase(), p0);  // only scans open phases
+}
+
+TEST(PhaseSemantics, EveryScanKindAdvancesExactlyOnce) {
+  Tree t;
+  t.insert(1);
+  const auto p0 = t.phase();
+  t.range_scan(0, 10);
+  EXPECT_EQ(t.phase(), p0 + 1);
+  t.range_count(0, 10);
+  EXPECT_EQ(t.phase(), p0 + 2);
+  t.range_visit(0, 10, [](long) {});
+  EXPECT_EQ(t.phase(), p0 + 3);
+  t.range_first(0, 10, 1);
+  EXPECT_EQ(t.phase(), p0 + 4);
+  t.size();
+  EXPECT_EQ(t.phase(), p0 + 5);
+  t.successor(0);
+  EXPECT_EQ(t.phase(), p0 + 6);
+  t.predecessor(5);
+  EXPECT_EQ(t.phase(), p0 + 7);
+  t.min();
+  t.max();
+  EXPECT_EQ(t.phase(), p0 + 9);
+  { auto s = t.snapshot(); }
+  EXPECT_EQ(t.phase(), p0 + 10);
+}
+
+TEST(PhaseSemantics, UpdatesInOnePhaseShareSequenceNumbers) {
+  // All updates between two scans land in the same phase: a snapshot taken
+  // at phase P sees all of them or (if taken before) none.
+  Tree t;
+  auto before = t.snapshot();
+  for (long k = 0; k < 100; ++k) t.insert(k);
+  auto after = t.snapshot();
+  EXPECT_EQ(before.size(), 0u);
+  EXPECT_EQ(after.size(), 100u);
+}
+
+TEST(PhaseSemantics, ConcurrentScansGetUniquePhases) {
+  // fetch_add gives each scan its own phase; phases observed via snapshots
+  // from many threads must be strictly increasing per thread and globally
+  // unique.
+  Tree t;
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<std::uint64_t>> seen(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < kThreads; ++ti) {
+    pool.emplace_back([&, ti] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto s = t.snapshot();
+        seen[ti].push_back(s.phase());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  std::set<std::uint64_t> all;
+  for (const auto& v : seen) {
+    for (std::size_t i = 1; i < v.size(); ++i) ASSERT_LT(v[i - 1], v[i]);
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(PhaseSemantics, ScanSeesEverythingLinearizedBeforeIt) {
+  // Single-threaded sanity for the handshaking guarantee: an update that
+  // returned before the scan started must be visible.
+  Tree t;
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(t.insert(round));
+    ASSERT_EQ(t.range_count(0, round), static_cast<std::size_t>(round + 1));
+  }
+}
+
+TEST(PhaseSemantics, SnapshotPhaseEqualsPreIncrementCounter) {
+  Tree t;
+  const auto p = t.phase();
+  auto s = t.snapshot();
+  EXPECT_EQ(s.phase(), p);       // snapshot owns the phase it closed
+  EXPECT_EQ(t.phase(), p + 1);   // and opened the next one
+}
+
+// Interleaved writers and a scanning thread: every scan's result size must
+// lie between the minimum and maximum possible set size at its phase
+// (coarse but effective sandwich bound under monotone growth).
+TEST(PhaseSemantics, ScanSizesSandwichedUnderMonotoneGrowth) {
+  Tree t;
+  std::atomic<long> inserted{0};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (long k = 0; k < 30000; ++k) {
+      t.insert(k);
+      inserted.store(k + 1, std::memory_order_release);
+    }
+    done = true;
+  });
+  while (!done.load()) {
+    const long lo = inserted.load(std::memory_order_acquire);
+    const auto n = t.size();
+    const long hi = inserted.load(std::memory_order_acquire);
+    // size() is linearized between the two reads of `inserted`.
+    ASSERT_GE(n, static_cast<std::size_t>(lo));
+    ASSERT_LE(n, static_cast<std::size_t>(hi) + 1);
+  }
+  writer.join();
+}
+
+}  // namespace
+}  // namespace pnbbst

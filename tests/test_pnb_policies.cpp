@@ -1,0 +1,110 @@
+// Policy-matrix tests: the same behavioural battery run over every
+// (reclaimer × stats) combination the tree supports, via typed tests.
+// Guards against policy-specific regressions (e.g. a reclaimer whose guard
+// semantics silently change the hot path).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/pnb_bst.h"
+#include "core/validate.h"
+
+namespace pnbbst {
+namespace {
+
+template <class Tree>
+class PnbPolicyMatrix : public ::testing::Test {};
+
+using Policies = ::testing::Types<
+    PnbBst<long, std::less<long>, EpochReclaimer, NullOpStats>,
+    PnbBst<long, std::less<long>, EpochReclaimer, CountingOpStats>,
+    PnbBst<long, std::less<long>, LeakyReclaimer, NullOpStats>,
+    PnbBst<long, std::less<long>, LeakyReclaimer, CountingOpStats>>;
+
+TYPED_TEST_SUITE(PnbPolicyMatrix, Policies);
+
+TYPED_TEST(PnbPolicyMatrix, SequentialModelConformance) {
+  TypeParam t;
+  const auto model = test::run_model_ops(t, 99, 3000, 128);
+  EXPECT_EQ(t.size(), model.size());
+  std::vector<long> expect(model.begin(), model.end());
+  EXPECT_EQ(t.range_scan(0, 128), expect);
+  auto rep = check_current(t);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TYPED_TEST(PnbPolicyMatrix, ConcurrentPartitionedStress) {
+  TypeParam t;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < 4; ++ti) {
+    pool.emplace_back([&, ti] {
+      std::set<long> model;
+      Xoshiro256 rng(thread_seed(1234, ti));
+      const long base = static_cast<long>(ti) * 64;
+      for (int i = 0; i < 8000 && !failed; ++i) {
+        const long k = base + static_cast<long>(rng.next_bounded(64));
+        switch (rng.next_bounded(3)) {
+          case 0:
+            if (t.insert(k) != model.insert(k).second) failed = true;
+            break;
+          case 1:
+            if (t.erase(k) != (model.erase(k) > 0)) failed = true;
+            break;
+          default:
+            if (t.contains(k) != (model.count(k) > 0)) failed = true;
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TYPED_TEST(PnbPolicyMatrix, ScansUnderChurnStaySorted) {
+  TypeParam t;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 rng(77);
+    while (!stop) {
+      const long k = static_cast<long>(rng.next_bounded(256));
+      if (rng.next_bounded(2)) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int s = 0; s < 200; ++s) {
+    auto v = t.range_scan(50, 200);
+    ASSERT_TRUE(test::is_sorted_unique(v));
+  }
+  stop = true;
+  writer.join();
+}
+
+TYPED_TEST(PnbPolicyMatrix, SnapshotsFrozen) {
+  TypeParam t;
+  for (long k = 0; k < 40; ++k) t.insert(k);
+  auto snap = t.snapshot();
+  for (long k = 0; k < 40; k += 2) t.erase(k);
+  EXPECT_EQ(snap.size(), 40u);
+  EXPECT_EQ(t.size(), 20u);
+}
+
+TYPED_TEST(PnbPolicyMatrix, OrderedQueries) {
+  TypeParam t;
+  for (long k = 0; k < 100; k += 10) t.insert(k);
+  EXPECT_EQ(t.successor(15), 20);
+  EXPECT_EQ(t.predecessor(15), 10);
+  EXPECT_EQ(t.min(), 0);
+  EXPECT_EQ(t.max(), 90);
+}
+
+}  // namespace
+}  // namespace pnbbst

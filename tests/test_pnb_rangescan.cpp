@@ -1,0 +1,157 @@
+// RangeScan semantics: boundaries, ordering, emptiness, visitor forms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common.h"
+#include "core/pnb_bst.h"
+
+namespace pnbbst {
+namespace {
+
+using Tree = PnbBst<long>;
+
+class RangeScanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (long k = 0; k < 200; k += 2) {  // even keys 0..198
+      ASSERT_TRUE(tree.insert(k));
+      model.insert(k);
+    }
+  }
+  Tree tree;
+  std::set<long> model;
+};
+
+TEST_F(RangeScanFixture, InclusiveBothEnds) {
+  auto v = tree.range_scan(10, 20);
+  EXPECT_EQ(v, (std::vector<long>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_F(RangeScanFixture, BoundsNotPresent) {
+  auto v = tree.range_scan(9, 21);  // odd bounds, only evens inside
+  EXPECT_EQ(v, (std::vector<long>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_F(RangeScanFixture, SingletonRange) {
+  EXPECT_EQ(tree.range_scan(50, 50), std::vector<long>{50});
+  EXPECT_TRUE(tree.range_scan(51, 51).empty());
+}
+
+TEST_F(RangeScanFixture, EmptyRangeWhenLoAboveHi) {
+  EXPECT_TRUE(tree.range_scan(20, 10).empty());
+}
+
+TEST_F(RangeScanFixture, RangeBelowAllKeys) {
+  EXPECT_TRUE(tree.range_scan(-100, -1).empty());
+}
+
+TEST_F(RangeScanFixture, RangeAboveAllKeys) {
+  EXPECT_TRUE(tree.range_scan(199, 10000).empty());
+}
+
+TEST_F(RangeScanFixture, RangeCoveringEverything) {
+  auto v = tree.range_scan(-1000000, 1000000);
+  EXPECT_EQ(v.size(), model.size());
+  EXPECT_TRUE(test::is_sorted_unique(v));
+}
+
+TEST_F(RangeScanFixture, ResultsAreSortedAscending) {
+  auto v = tree.range_scan(37, 161);
+  EXPECT_TRUE(test::is_sorted_unique(v));
+  EXPECT_EQ(v, test::model_range(model, 37, 161));
+}
+
+TEST_F(RangeScanFixture, VisitorSeesSameSequence) {
+  std::vector<long> collected;
+  tree.range_visit(30, 60, [&](long k) { collected.push_back(k); });
+  EXPECT_EQ(collected, tree.range_scan(30, 60));
+}
+
+TEST_F(RangeScanFixture, CountAgreesWithScanAcrossSweep) {
+  for (long lo = -10; lo < 210; lo += 17) {
+    for (long w : {0L, 1L, 5L, 50L, 300L}) {
+      EXPECT_EQ(tree.range_count(lo, lo + w),
+                tree.range_scan(lo, lo + w).size())
+          << "lo=" << lo << " w=" << w;
+    }
+  }
+}
+
+TEST_F(RangeScanFixture, ScanAfterDeletionsExcludesRemoved) {
+  tree.erase(12);
+  tree.erase(14);
+  auto v = tree.range_scan(10, 20);
+  EXPECT_EQ(v, (std::vector<long>{10, 16, 18, 20}));
+}
+
+TEST_F(RangeScanFixture, ScanIsRepeatable) {
+  const auto a = tree.range_scan(0, 198);
+  const auto b = tree.range_scan(0, 198);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RangeScanEdge, ScanOnEmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.range_scan(std::numeric_limits<long>::min(),
+                           std::numeric_limits<long>::max())
+                  .empty());
+  EXPECT_EQ(t.range_count(0, 0), 0u);
+}
+
+TEST(RangeScanEdge, ExtremeBoundsWithExtremeKeys) {
+  Tree t;
+  t.insert(std::numeric_limits<long>::min());
+  t.insert(std::numeric_limits<long>::max());
+  t.insert(0);
+  auto v = t.range_scan(std::numeric_limits<long>::min(),
+                        std::numeric_limits<long>::max());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], std::numeric_limits<long>::min());
+  EXPECT_EQ(v[2], std::numeric_limits<long>::max());
+}
+
+TEST(RangeScanEdge, SentinelLeavesNeverEmitted) {
+  Tree t;
+  t.insert(1);
+  // A full scan must return only the finite key, never ∞1/∞2.
+  EXPECT_EQ(t.size(), 1u);
+  auto v = t.range_scan(std::numeric_limits<long>::min(),
+                        std::numeric_limits<long>::max());
+  EXPECT_EQ(v, std::vector<long>{1});
+}
+
+TEST(RangeScanEdge, RandomizedSweepMatchesModel) {
+  Tree t;
+  std::set<long> model;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    const long k = static_cast<long>(rng.next_bounded(512));
+    if (rng.next_bounded(2)) {
+      t.insert(k);
+      model.insert(k);
+    } else {
+      t.erase(k);
+      model.erase(k);
+    }
+    if (i % 97 == 0) {
+      const long lo = static_cast<long>(rng.next_bounded(512));
+      const long hi = lo + static_cast<long>(rng.next_bounded(128));
+      ASSERT_EQ(t.range_scan(lo, hi), test::model_range(model, lo, hi))
+          << "i=" << i << " lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(RangeScanEdge, DeepUnbalancedTreeScanDoesNotOverflow) {
+  // Sorted insertion produces a path-shaped tree; the iterative scan must
+  // handle depth ~N without recursion.
+  Tree t;
+  constexpr long kN = 50000;
+  for (long k = 0; k < kN; ++k) ASSERT_TRUE(t.insert(k));
+  EXPECT_EQ(t.range_count(0, kN), static_cast<std::size_t>(kN));
+  EXPECT_EQ(t.range_count(kN - 100, kN), 100u);
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,133 @@
+// Snapshot handles: consistent multi-query access to one phase.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "common.h"
+#include "core/pnb_bst.h"
+
+namespace pnbbst {
+namespace {
+
+using Tree = PnbBst<long>;
+
+TEST(Snapshot, SeesStateAtCreation) {
+  Tree t;
+  for (long k = 0; k < 10; ++k) t.insert(k);
+  auto snap = t.snapshot();
+  t.insert(100);
+  t.erase(5);
+  EXPECT_TRUE(snap.contains(5));    // deleted after snapshot
+  EXPECT_FALSE(snap.contains(100)); // inserted after snapshot
+  EXPECT_EQ(snap.size(), 10u);
+  // The live tree reflects the new state.
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.contains(100));
+}
+
+TEST(Snapshot, MultipleQueriesAreMutuallyConsistent) {
+  Tree t;
+  for (long k = 0; k < 100; ++k) t.insert(k);
+  auto snap = t.snapshot();
+  for (long k = 0; k < 100; k += 2) t.erase(k);
+  // Every read on the snapshot must agree with the phase it captured.
+  EXPECT_EQ(snap.size(), 100u);
+  EXPECT_EQ(snap.range_count(0, 99), 100u);
+  for (long k = 0; k < 100; ++k) EXPECT_TRUE(snap.contains(k)) << k;
+  auto v = snap.range_scan(20, 29);
+  EXPECT_EQ(v, (std::vector<long>{20, 21, 22, 23, 24, 25, 26, 27, 28, 29}));
+}
+
+TEST(Snapshot, SnapshotOfEmptyTree) {
+  Tree t;
+  auto snap = t.snapshot();
+  t.insert(1);
+  EXPECT_EQ(snap.size(), 0u);
+  EXPECT_FALSE(snap.contains(1));
+  EXPECT_TRUE(snap.range_scan(-100, 100).empty());
+}
+
+TEST(Snapshot, StackedSnapshotsSeeDistinctPhases) {
+  Tree t;
+  std::vector<Tree::Snapshot> snaps;
+  std::vector<std::set<long>> models;
+  std::set<long> model;
+  Xoshiro256 rng(5);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const long k = static_cast<long>(rng.next_bounded(128));
+      if (rng.next_bounded(2)) {
+        t.insert(k);
+        model.insert(k);
+      } else {
+        t.erase(k);
+        model.erase(k);
+      }
+    }
+    snaps.push_back(t.snapshot());
+    models.push_back(model);
+  }
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    std::vector<long> expect(models[i].begin(), models[i].end());
+    EXPECT_EQ(snaps[i].range_scan(0, 128), expect) << "snapshot " << i;
+    EXPECT_EQ(snaps[i].size(), models[i].size()) << "snapshot " << i;
+  }
+}
+
+TEST(Snapshot, PhaseNumberIsMonotonic) {
+  Tree t;
+  auto s1 = t.snapshot();
+  auto s2 = t.snapshot();
+  auto s3 = t.snapshot();
+  EXPECT_LT(s1.phase(), s2.phase());
+  EXPECT_LT(s2.phase(), s3.phase());
+}
+
+TEST(Snapshot, MoveTransfersOwnership) {
+  Tree t;
+  t.insert(7);
+  auto s1 = t.snapshot();
+  auto s2 = std::move(s1);
+  t.erase(7);
+  EXPECT_TRUE(s2.contains(7));
+}
+
+TEST(Snapshot, SnapshotSurvivesHeavyChurn) {
+  Tree t;
+  for (long k = 0; k < 64; ++k) t.insert(k);
+  auto snap = t.snapshot();
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.next_bounded(64));
+    if (rng.next_bounded(2)) {
+      t.insert(k);
+    } else {
+      t.erase(k);
+    }
+  }
+  // The snapshot's view is untouched by 20k subsequent updates.
+  EXPECT_EQ(snap.size(), 64u);
+  for (long k = 0; k < 64; ++k) EXPECT_TRUE(snap.contains(k));
+}
+
+TEST(Snapshot, RangeCountOnSnapshot) {
+  Tree t;
+  for (long k = 0; k < 30; ++k) t.insert(k);
+  auto snap = t.snapshot();
+  for (long k = 0; k < 30; ++k) t.erase(k);
+  EXPECT_EQ(snap.range_count(10, 19), 10u);
+  EXPECT_EQ(t.range_count(10, 19), 0u);
+}
+
+TEST(Snapshot, VisitorOrderAscending) {
+  Tree t;
+  for (long k : {5L, 1L, 9L, 3L, 7L}) t.insert(k);
+  auto snap = t.snapshot();
+  std::vector<long> seen;
+  snap.range_visit(0, 10, [&](long k) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<long>{1, 3, 5, 7, 9}));
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,122 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pnbbst {
+namespace {
+
+TEST(SplitMix64, DeterministicStream) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation (Vigna).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Mix64, IsAFunction) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Xoshiro256, DeterministicStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInBounds) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.next_bounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BoundedZeroIsZero) {
+  Xoshiro256 rng(99);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedOneIsZero) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusiveCoversEndpoints) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanIsAboutHalf) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(23);
+  const std::uint64_t buckets = 16;
+  std::vector<int> counts(buckets, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_bounded(buckets)];
+  for (auto c : counts) {
+    EXPECT_NEAR(c, n / static_cast<int>(buckets), n / buckets / 5);
+  }
+}
+
+TEST(ThreadSeed, DistinctPerThread) {
+  std::set<std::uint64_t> seeds;
+  for (unsigned t = 0; t < 256; ++t) seeds.insert(thread_seed(42, t));
+  EXPECT_EQ(seeds.size(), 256u);
+}
+
+TEST(ThreadSeed, StableAcrossCalls) {
+  EXPECT_EQ(thread_seed(7, 3), thread_seed(7, 3));
+  EXPECT_NE(thread_seed(7, 3), thread_seed(8, 3));
+}
+
+}  // namespace
+}  // namespace pnbbst

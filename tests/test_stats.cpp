@@ -1,0 +1,82 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pnbbst {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, ConstantSeriesHasZeroStddev) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(3.25);
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
+  EXPECT_NEAR(s.rsd_percent(), 0.0, 1e-9);
+}
+
+TEST(RunningStats, RsdPercent) {
+  RunningStats s;
+  s.add(90);
+  s.add(110);
+  // mean 100, sample stddev = sqrt(200) ~ 14.14 -> ~14.14%
+  EXPECT_NEAR(s.rsd_percent(), 14.142, 0.01);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-10);
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  // mean 0 -> rsd defined as 0 to avoid division by zero
+  EXPECT_DOUBLE_EQ(s.rsd_percent(), 0.0);
+}
+
+TEST(RunningStats, WelfordMatchesNaiveOnLargeSample) {
+  RunningStats s;
+  double sum = 0, sum2 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = std::sin(i * 0.1) * 100 + i * 0.001;
+    s.add(v);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = (sum2 - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/backoff.h"
+#include "util/cacheline.h"
+#include "util/spin_barrier.h"
+#include "util/timer.h"
+
+namespace pnbbst {
+namespace {
+
+TEST(CachePadded, SizeIsAtLeastALine) {
+  static_assert(sizeof(CachePadded<int>) >= kCacheLine);
+  static_assert(alignof(CachePadded<int>) == kCacheLine);
+  CachePadded<int> v(7);
+  EXPECT_EQ(*v, 7);
+  *v = 9;
+  EXPECT_EQ(v.value, 9);
+}
+
+TEST(CachePadded, AdjacentElementsOnDistinctLines) {
+  std::vector<CachePadded<std::atomic<int>>> v(4);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&v[i - 1]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&v[i]);
+    EXPECT_GE(b - a, kCacheLine);
+  }
+}
+
+TEST(SpinBarrier, SingleThreadPassesImmediately) {
+  SpinBarrier b(1);
+  b.arrive_and_wait();  // must not hang
+  b.arrive_and_wait();  // reusable
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        phase_counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread of round r has incremented.
+        if (phase_counter.load() < (r + 1) * kThreads) failed = true;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(phase_counter.load(), kThreads * kRounds);
+}
+
+TEST(Backoff, PauseTerminates) {
+  Backoff b(64);
+  for (int i = 0; i < 100; ++i) b.pause();
+  b.reset();
+  b.pause();
+}
+
+TEST(Backoff, ZeroMaxSpinIsNoop) {
+  Backoff b(0);
+  for (int i = 0; i < 10; ++i) b.pause();
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.elapsed_ns(), 5'000'000u);
+  EXPECT_GE(t.elapsed_ms(), 5.0);
+  t.reset();
+  EXPECT_LT(t.elapsed_s(), 5.0);
+}
+
+TEST(Timer, NowNsMonotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace pnbbst

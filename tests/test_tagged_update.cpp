@@ -1,0 +1,119 @@
+#include "core/tagged_update.h"
+
+#include <gtest/gtest.h>
+
+#include "core/info.h"
+
+namespace pnbbst {
+namespace {
+
+using Info = PnbInfo<long>;
+using Update = TaggedUpdate<Info>;
+
+TEST(TaggedUpdate, RoundTripFlag) {
+  Info info;
+  Update u(FreezeType::kFlag, &info);
+  EXPECT_EQ(u.type(), FreezeType::kFlag);
+  EXPECT_EQ(u.info(), &info);
+  EXPECT_TRUE(u.is_flag());
+  EXPECT_FALSE(u.is_mark());
+}
+
+TEST(TaggedUpdate, RoundTripMark) {
+  Info info;
+  Update u(FreezeType::kMark, &info);
+  EXPECT_EQ(u.type(), FreezeType::kMark);
+  EXPECT_EQ(u.info(), &info);
+  EXPECT_TRUE(u.is_mark());
+}
+
+TEST(TaggedUpdate, InfoAlignmentLeavesTagBit) {
+  static_assert(alignof(Info) >= 8,
+                "Info must be aligned so the low bit is free for the tag");
+  Info info;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&info) & 1u, 0u);
+}
+
+TEST(TaggedUpdate, EqualityIsBitwise) {
+  Info a, b;
+  EXPECT_EQ(Update(FreezeType::kFlag, &a), Update(FreezeType::kFlag, &a));
+  EXPECT_NE(Update(FreezeType::kFlag, &a), Update(FreezeType::kMark, &a));
+  EXPECT_NE(Update(FreezeType::kFlag, &a), Update(FreezeType::kFlag, &b));
+}
+
+TEST(TaggedUpdate, DefaultIsNullFlag) {
+  Update u;
+  EXPECT_EQ(u.info(), nullptr);
+  EXPECT_EQ(u.type(), FreezeType::kFlag);
+  EXPECT_EQ(u.raw(), 0u);
+}
+
+TEST(TaggedUpdate, RawRoundTrip) {
+  Info info;
+  Update u(FreezeType::kMark, &info);
+  Update v(u.raw());
+  EXPECT_EQ(u, v);
+}
+
+TEST(Frozen, FlagStates) {
+  Info info;
+  Update u(FreezeType::kFlag, &info);
+  info.state.store(InfoState::kUndecided);
+  EXPECT_TRUE(frozen<long>(u));
+  info.state.store(InfoState::kTry);
+  EXPECT_TRUE(frozen<long>(u));
+  info.state.store(InfoState::kCommit);
+  EXPECT_FALSE(frozen<long>(u));
+  info.state.store(InfoState::kAbort);
+  EXPECT_FALSE(frozen<long>(u));
+}
+
+TEST(Frozen, MarkStates) {
+  Info info;
+  Update u(FreezeType::kMark, &info);
+  info.state.store(InfoState::kUndecided);
+  EXPECT_TRUE(frozen<long>(u));
+  info.state.store(InfoState::kTry);
+  EXPECT_TRUE(frozen<long>(u));
+  info.state.store(InfoState::kCommit);
+  EXPECT_TRUE(frozen<long>(u));  // marked + committed = frozen forever
+  info.state.store(InfoState::kAbort);
+  EXPECT_FALSE(frozen<long>(u));
+}
+
+TEST(InfoLifetime, RefReleaseReportsZeroOnce) {
+  Info info;
+  info.live_refs.store(2);
+  EXPECT_FALSE(info.ref_release());
+  EXPECT_TRUE(info.ref_release());
+}
+
+TEST(InfoLifetime, RetireLatchIsIdempotent) {
+  Info info;
+  info.live_refs.store(1);
+  EXPECT_TRUE(info.ref_release());
+  // A resurrecting +1/-1 pair (late helper) must not re-trigger retirement.
+  info.live_refs.fetch_add(1);
+  EXPECT_FALSE(info.ref_release());
+}
+
+TEST(InfoLifetime, MarkedIndexConvention) {
+  Info info;
+  EXPECT_FALSE(info.is_marked_index(0));
+  EXPECT_TRUE(info.is_marked_index(1));
+  EXPECT_TRUE(info.is_marked_index(3));
+}
+
+TEST(InfoLifetime, StateInProgress) {
+  Info info;
+  EXPECT_TRUE(info.state_in_progress());
+  info.state.store(InfoState::kTry);
+  EXPECT_TRUE(info.state_in_progress());
+  info.state.store(InfoState::kCommit);
+  EXPECT_FALSE(info.state_in_progress());
+  info.state.store(InfoState::kAbort);
+  EXPECT_FALSE(info.state_in_progress());
+}
+
+}  // namespace
+}  // namespace pnbbst

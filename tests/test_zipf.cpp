@@ -1,0 +1,83 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pnbbst {
+namespace {
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler z(100, 0.0);
+  Xoshiro256 rng(1);
+  std::vector<int> counts(100, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 100, n / 100 / 3);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  for (double theta : {0.0, 0.3, 0.7, 0.9, 0.99}) {
+    ZipfSampler z(1000, theta);
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_LT(z.sample(rng), 1000u) << "theta=" << theta;
+    }
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  ZipfSampler z(10000, 0.99);
+  Xoshiro256 rng(3);
+  const int n = 100000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) low += z.sample(rng) < 100;
+  // With theta=0.99 the first 1% of ranks should carry far more than 1% of
+  // the mass (analytically ~60%); uniform would give ~1%.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  Xoshiro256 rng(4);
+  auto mass_on_rank0 = [&rng](double theta) {
+    ZipfSampler z(1000, theta);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i) hits += z.sample(rng) == 0;
+    return hits;
+  };
+  const int t5 = mass_on_rank0(0.5);
+  const int t9 = mass_on_rank0(0.9);
+  EXPECT_LT(t5, t9);
+}
+
+TEST(Zipf, FrequencyRatioMatchesPowerLaw) {
+  // For Zipf(theta), P(rank 0)/P(rank 9) ~= 10^theta.
+  const double theta = 0.8;
+  ZipfSampler z(100000, theta);
+  Xoshiro256 rng(5);
+  const int n = 2000000;
+  int r0 = 0, r9 = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto s = z.sample(rng);
+    r0 += s == 0;
+    r9 += s == 9;
+  }
+  ASSERT_GT(r9, 0);
+  const double ratio = static_cast<double>(r0) / r9;
+  EXPECT_NEAR(ratio, std::pow(10.0, theta), std::pow(10.0, theta) * 0.25);
+}
+
+TEST(Zipf, SingleElementDomain) {
+  ZipfSampler z(1, 0.9);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, ZeroDomainClampedToOne) {
+  ZipfSampler z(0, 0.5);
+  EXPECT_EQ(z.n(), 1u);
+}
+
+}  // namespace
+}  // namespace pnbbst
