@@ -70,8 +70,27 @@ RunResult bench_structure(Tree& tree, const WorkloadMix& mix,
   return run_mix(tree, mix, cfg);
 }
 
+// True when the binary was invoked with --smoke: the short-run profile used
+// by the `ctest -L bench-smoke` targets. Smoke mode shrinks the timed window
+// and key range here, and each main shrinks its sweep lists, so the whole
+// bench inventory finishes in seconds while still exercising every code
+// path. Explicit flags (--secs=...) still override the smoke defaults.
+inline bool smoke_mode(const Cli& cli) { return cli.get_bool("smoke", false); }
+
+// Sweep list with smoke-aware defaults; an explicit --<name>=... wins.
+inline std::vector<std::int64_t> sweep_list(
+    const Cli& cli, const std::string& name, bool smoke,
+    const std::vector<std::int64_t>& smoke_def,
+    const std::vector<std::int64_t>& full_def) {
+  return cli.get_int_list(name, smoke ? smoke_def : full_def);
+}
+
 inline BenchConfig config_from_cli(const Cli& cli) {
   BenchConfig cfg;
+  if (smoke_mode(cli)) {
+    cfg.seconds = 0.02;
+    cfg.key_range = 1 << 10;
+  }
   cfg.seconds = cli.get_double("secs", cfg.seconds);
   cfg.key_range = cli.get_int("keyrange", cfg.key_range);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));

@@ -39,9 +39,11 @@ void run_series(Table& table, const BenchConfig& base,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  const auto threads = cli.get_int_list("threads", {1, 2, 4, 8});
-  const auto ranges = cli.get_int_list("ranges", {1 << 12, 1 << 18});
+  const auto threads = sweep_list(cli, "threads", smoke, {1, 2}, {1, 2, 4, 8});
+  const auto ranges =
+      sweep_list(cli, "ranges", smoke, {1 << 10}, {1 << 12, 1 << 18});
   Reporter rep(cli, "Fig.E1", "update-only throughput vs threads (50i/50d)");
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());

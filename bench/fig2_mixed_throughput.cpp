@@ -41,8 +41,9 @@ void run_series(Table& table, const BenchConfig& base,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  const auto threads = cli.get_int_list("threads", {1, 2, 4, 8});
+  const auto threads = sweep_list(cli, "threads", smoke, {2}, {1, 2, 4, 8});
   Reporter rep(cli, "Fig.E2", "mixed workload throughput vs threads");
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());

@@ -41,9 +41,12 @@ void run_series(Table& table, const BenchConfig& base,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  const auto widths = cli.get_int_list("widths", {64, 256, 1024, 4096});
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 4));
+  const auto widths =
+      sweep_list(cli, "widths", smoke, {16, 64}, {64, 256, 1024, 4096});
+  const auto threads =
+      static_cast<unsigned>(cli.get_int("threads", smoke ? 2 : 4));
   Reporter rep(cli, "Fig.E3",
                "updates + 10% range scans, sweeping scan width");
   for (const auto& unknown : cli.unknown()) {

@@ -70,9 +70,10 @@ void run_series(Table& table, const BenchConfig& base,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  const auto updaters = cli.get_int_list("updaters", {0, 1, 3, 7});
-  const long width = cli.get_int("width", 1024);
+  const auto updaters = sweep_list(cli, "updaters", smoke, {0, 1}, {0, 1, 3, 7});
+  const long width = cli.get_int("width", smoke ? 128 : 1024);
   Reporter rep(cli, "Fig.E4", "scan latency percentiles vs update pressure");
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());

@@ -16,8 +16,9 @@ int main(int argc, char** argv) {
   using namespace pnbbst;
   using namespace pnbbst::bench;
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   Reporter rep(cli, "Fig.E7", "scan latency vs width and tree size");
-  const int reps = static_cast<int>(cli.get_int("reps", 200));
+  const int reps = static_cast<int>(cli.get_int("reps", smoke ? 5 : 200));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
@@ -29,7 +30,10 @@ int main(int argc, char** argv) {
 
   Table table({"tree_size", "scan_width", "mean_us", "p99_us",
                "us_per_key"});
-  for (long tree_size : {1000L, 10000L, 100000L, 1000000L}) {
+  const std::vector<long> tree_sizes =
+      smoke ? std::vector<long>{1000L, 10000L}
+            : std::vector<long>{1000L, 10000L, 100000L, 1000000L};
+  for (long tree_size : tree_sizes) {
     PnbBst<long> tree;
     auto set = adapt(tree);
     // Dense prefill of exactly tree_size keys out of 2*tree_size range.

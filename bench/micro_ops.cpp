@@ -2,6 +2,9 @@
 // contains / range_count latency per structure on a prefilled tree.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "baseline/set_adapter.h"
 #include "util/random.h"
 #include "workload/workload.h"
@@ -76,4 +79,25 @@ BENCHMARK_TEMPLATE(BM_RangeCount, PnbBst<long>)->Arg(128)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_RangeCount, LockedBst<long>)->Arg(128)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_RangeCount, CowBst<long>)->Arg(128)->Arg(1024);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accepts the repo-wide --smoke
+// flag (used by the bench-smoke CTest target) by translating it into a tiny
+// --benchmark_min_time before handing off to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,9 +16,11 @@ int main(int argc, char** argv) {
   using namespace pnbbst;
   using namespace pnbbst::bench;
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  const auto threads = static_cast<unsigned>(cli.get_int("threads", 4));
-  const long width = cli.get_int("width", 256);
+  const auto threads =
+      static_cast<unsigned>(cli.get_int("threads", smoke ? 2 : 4));
+  const long width = cli.get_int("width", smoke ? 64 : 256);
   Reporter rep(cli, "Tab.E5",
                "handshaking: scan fraction vs update aborts/helping");
   for (const auto& unknown : cli.unknown()) {

@@ -34,8 +34,9 @@ void run_one(Table& table, const char* policy, const BenchConfig& cfg) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  base.threads = static_cast<unsigned>(cli.get_int("threads", 4));
+  base.threads = static_cast<unsigned>(cli.get_int("threads", smoke ? 2 : 4));
   Reporter rep(cli, "Tab.E6", "reclamation policy ablation (50i/50d)");
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());

@@ -47,8 +47,9 @@ void run_series(Table& table, const BenchConfig& base,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  base.threads = static_cast<unsigned>(cli.get_int("threads", 4));
+  base.threads = static_cast<unsigned>(cli.get_int("threads", smoke ? 2 : 4));
   Reporter rep(cli, "Tab.E8", "Zipf skew: throughput and helping locality");
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
@@ -58,7 +59,9 @@ int main(int argc, char** argv) {
   std::snprintf(extra, sizeof(extra), "threads=%u", base.threads);
   rep.preamble(params_string(base, extra));
 
-  const std::vector<double> thetas = {0.0, 0.5, 0.9, 0.99};
+  const std::vector<double> thetas =
+      smoke ? std::vector<double>{0.0, 0.99}
+            : std::vector<double>{0.0, 0.5, 0.9, 0.99};
   Table table({"structure", "zipf_theta", "Mops/s", "attempts", "helps",
                "helps/commit", "attempts/commit"});
   run_series<PnbBst<long, std::less<long>, EpochReclaimer, CountingOpStats>>(

@@ -49,7 +49,11 @@ class EpochReclaimer {
 
   ~EpochReclaimer() {
     // No threads may be using the reclaimer at destruction time. Free
-    // everything still in limbo.
+    // everything still in limbo. Deleters can re-enter retire() (freeing a
+    // node retires its Info); the flag routes those straight to the deleter
+    // instead of local_rec(), whose ThreadRec this loop may already have
+    // deleted.
+    tearing_down_.store(true, std::memory_order_relaxed);
     ThreadRec* rec = head_.load(std::memory_order_acquire);
     while (rec != nullptr) {
       for (auto& bucket : rec->limbo) drain_bucket(bucket);
@@ -139,6 +143,13 @@ class EpochReclaimer {
   }
 
   void retire(void* ptr, void (*deleter)(void*)) {
+    if (tearing_down_.load(std::memory_order_relaxed)) {
+      // Re-entrant retire from the destructor's drain: nothing can observe
+      // the object anymore, so free it on the spot.
+      retired_total_.fetch_add(1, std::memory_order_relaxed);
+      free_item(RetiredItem{ptr, deleter});
+      return;
+    }
     ThreadRec* rec = local_rec();
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     auto& bucket = rec->limbo[e % 3];
@@ -366,6 +377,7 @@ class EpochReclaimer {
   }
 
   std::atomic<ThreadRec*> head_{nullptr};
+  std::atomic<bool> tearing_down_{false};
   alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> retired_total_{0};
   std::atomic<std::uint64_t> freed_total_{0};

@@ -29,6 +29,14 @@
 // waits for. (See DESIGN.md §1, substitution 1.)
 #pragma once
 
+// Fail fast with a readable message instead of a cascade of concept-syntax
+// errors when the compiler is not in C++20 mode. Compared against 201707L,
+// not 201907L: clang <= 15 reports the lower value while fully supporting
+// the concepts syntax used here.
+#if !defined(__cpp_concepts) || __cpp_concepts < 201707L
+#error "PNB-BST requires C++20 (concepts): compile with -std=c++20 or newer"
+#endif
+
 #include <concepts>
 #include <utility>
 

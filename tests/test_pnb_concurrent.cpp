@@ -153,7 +153,9 @@ TEST(PnbConcurrent, ReadersDuringWrites) {
       const long k = static_cast<long>(rng.next_bounded(512));
       const bool r = t.contains(k);
       // Odd keys are never inserted by anyone.
-      if (k % 2 == 1) ASSERT_FALSE(r);
+      if (k % 2 == 1) {
+        ASSERT_FALSE(r);
+      }
       reads.fetch_add(1, std::memory_order_relaxed);
     }
   });

@@ -55,7 +55,9 @@ TEST(PnbScanConcurrent, DeleteOnlyScansSeeSuffixes) {
     for (std::size_t i = 1; i < v.size(); ++i) {
       ASSERT_EQ(v[i], v[i - 1] + 1) << "hole in suffix";
     }
-    if (!v.empty()) ASSERT_EQ(v.back(), kMax - 1);
+    if (!v.empty()) {
+      ASSERT_EQ(v.back(), kMax - 1);
+    }
   }
   writer.join();
   EXPECT_TRUE(t.range_scan(0, kMax).empty());
