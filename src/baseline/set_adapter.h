@@ -1,23 +1,49 @@
-// Uniform facade over the four set implementations so benchmarks, tests and
+// Uniform facade over the set implementations so benchmarks, tests and
 // examples can be written once and instantiated per structure.
 //
-// Adapter surface:
-//   bool insert(k) / erase(k) / contains(k)
-//   size_t range_count(lo, hi)        — linearizable where the structure
-//                                       supports it (see kLinearizableScan)
-//   static constexpr const char* kName
-//   static constexpr bool kLinearizableScan
+// The adapter surface is specified by the concepts in core/concepts.h and
+// enforced by the static_asserts at the bottom of this header — adding a
+// structure or changing a signature that breaks the contract is a compile
+// error, not a silent duck-typing divergence:
+//
+//   OrderedSet       bool insert(k) / erase(k) / contains(k)
+//   Scannable        size_t range_count(lo, hi), vector<K> range_scan(lo, hi)
+//   PrefixScannable  range_visit_while(lo, hi, vis) — vis returns false to
+//                    stop; emulated with a dead-visit flag on structures
+//                    without native early termination
+//   Snapshottable    snapshot() (only where kHasSnapshot — PNB-BST)
+//
+// Scans are linearizable where the structure supports it (see
+// kLinearizableScan); the *_unsafe traversals of NB-BST and the skiplist are
+// best-effort.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "baseline/cow_bst.h"
 #include "baseline/lf_skiplist.h"
 #include "baseline/locked_bst.h"
+#include "core/concepts.h"
 #include "core/pnb_bst.h"
 #include "nbbst/nb_bst.h"
 
 namespace pnbbst {
+
+namespace detail {
+
+// Early-termination emulation for structures without a native stopping
+// scan: traversal continues, emission stops once the visitor returns false.
+template <class Traverse, class Vis>
+void visit_while_emulated(Traverse&& traverse, Vis&& vis) {
+  bool go = true;
+  traverse([&go, &vis](const auto& k) {
+    if (go) go = vis(k);
+  });
+}
+
+}  // namespace detail
 
 template <class Tree>
 struct SetAdapter;
@@ -25,8 +51,11 @@ struct SetAdapter;
 template <class K, class C, class R, class S>
 struct SetAdapter<PnbBst<K, C, R, S>> {
   using Tree = PnbBst<K, C, R, S>;
+  using key_type = K;
+  using Snapshot = typename Tree::Snapshot;
   static constexpr const char* kName = "pnb-bst";
   static constexpr bool kLinearizableScan = true;
+  static constexpr bool kHasSnapshot = true;
 
   Tree& t;
   bool insert(const K& k) { return t.insert(k); }
@@ -35,13 +64,23 @@ struct SetAdapter<PnbBst<K, C, R, S>> {
   std::size_t range_count(const K& lo, const K& hi) {
     return t.range_count(lo, hi);
   }
+  std::vector<K> range_scan(const K& lo, const K& hi) {
+    return t.range_scan(lo, hi);
+  }
+  template <class Vis>
+  void range_visit_while(const K& lo, const K& hi, Vis&& vis) {
+    t.range_visit_while(lo, hi, std::forward<Vis>(vis));
+  }
+  Snapshot snapshot() { return t.snapshot(); }
 };
 
 template <class K, class C, class R, class S>
 struct SetAdapter<NbBst<K, C, R, S>> {
   using Tree = NbBst<K, C, R, S>;
+  using key_type = K;
   static constexpr const char* kName = "nb-bst";
   static constexpr bool kLinearizableScan = false;  // best-effort traversal
+  static constexpr bool kHasSnapshot = false;
 
   Tree& t;
   bool insert(const K& k) { return t.insert(k); }
@@ -51,14 +90,25 @@ struct SetAdapter<NbBst<K, C, R, S>> {
     std::size_t n = 0;
     t.range_visit_unsafe(lo, hi, [&n](const K&) { ++n; });
     return n;
+  }
+  std::vector<K> range_scan(const K& lo, const K& hi) {
+    return t.range_scan_unsafe(lo, hi);
+  }
+  template <class Vis>
+  void range_visit_while(const K& lo, const K& hi, Vis&& vis) {
+    detail::visit_while_emulated(
+        [&](auto&& emit) { t.range_visit_unsafe(lo, hi, emit); },
+        std::forward<Vis>(vis));
   }
 };
 
 template <class K, class C, class S>
 struct SetAdapter<LockedBst<K, C, S>> {
   using Tree = LockedBst<K, C, S>;
+  using key_type = K;
   static constexpr const char* kName = "locked-bst";
   static constexpr bool kLinearizableScan = true;  // blocking
+  static constexpr bool kHasSnapshot = false;
 
   Tree& t;
   bool insert(const K& k) { return t.insert(k); }
@@ -66,14 +116,25 @@ struct SetAdapter<LockedBst<K, C, S>> {
   bool contains(const K& k) { return t.contains(k); }
   std::size_t range_count(const K& lo, const K& hi) {
     return t.range_count(lo, hi);
+  }
+  std::vector<K> range_scan(const K& lo, const K& hi) {
+    return t.range_scan(lo, hi);
+  }
+  template <class Vis>
+  void range_visit_while(const K& lo, const K& hi, Vis&& vis) {
+    detail::visit_while_emulated(
+        [&](auto&& emit) { t.range_visit(lo, hi, emit); },
+        std::forward<Vis>(vis));
   }
 };
 
 template <class K, class C, class R, class S>
 struct SetAdapter<CowBst<K, C, R, S>> {
   using Tree = CowBst<K, C, R, S>;
+  using key_type = K;
   static constexpr const char* kName = "cow-bst";
   static constexpr bool kLinearizableScan = true;  // snapshot at root load
+  static constexpr bool kHasSnapshot = false;
 
   Tree& t;
   bool insert(const K& k) { return t.insert(k); }
@@ -82,13 +143,24 @@ struct SetAdapter<CowBst<K, C, R, S>> {
   std::size_t range_count(const K& lo, const K& hi) {
     return t.range_count(lo, hi);
   }
+  std::vector<K> range_scan(const K& lo, const K& hi) {
+    return t.range_scan(lo, hi);
+  }
+  template <class Vis>
+  void range_visit_while(const K& lo, const K& hi, Vis&& vis) {
+    detail::visit_while_emulated(
+        [&](auto&& emit) { t.range_visit(lo, hi, emit); },
+        std::forward<Vis>(vis));
+  }
 };
 
 template <class K, class C, class R, class S>
 struct SetAdapter<LfSkipList<K, C, R, S>> {
   using Tree = LfSkipList<K, C, R, S>;
+  using key_type = K;
   static constexpr const char* kName = "lf-skiplist";
   static constexpr bool kLinearizableScan = false;  // best-effort traversal
+  static constexpr bool kHasSnapshot = false;
 
   Tree& t;
   bool insert(const K& k) { return t.insert(k); }
@@ -98,6 +170,15 @@ struct SetAdapter<LfSkipList<K, C, R, S>> {
     std::size_t n = 0;
     t.range_visit_unsafe(lo, hi, [&n](const K&) { ++n; });
     return n;
+  }
+  std::vector<K> range_scan(const K& lo, const K& hi) {
+    return t.range_scan_unsafe(lo, hi);
+  }
+  template <class Vis>
+  void range_visit_while(const K& lo, const K& hi, Vis&& vis) {
+    detail::visit_while_emulated(
+        [&](auto&& emit) { t.range_visit_unsafe(lo, hi, emit); },
+        std::forward<Vis>(vis));
   }
 };
 
@@ -105,5 +186,35 @@ template <class Tree>
 SetAdapter<Tree> adapt(Tree& t) {
   return SetAdapter<Tree>{t};
 }
+
+// --- Contract enforcement ---------------------------------------------------
+// Every adapter specialization must model the full set surface; the PNB-BST
+// adapter additionally models Snapshottable. Checked here once so every TU
+// that talks to a structure through the adapter gets the guarantee for free.
+static_assert(OrderedSet<SetAdapter<PnbBst<long>>, long>);
+static_assert(OrderedSet<SetAdapter<NbBst<long>>, long>);
+static_assert(OrderedSet<SetAdapter<LockedBst<long>>, long>);
+static_assert(OrderedSet<SetAdapter<CowBst<long>>, long>);
+static_assert(OrderedSet<SetAdapter<LfSkipList<long>>, long>);
+
+static_assert(Scannable<SetAdapter<PnbBst<long>>, long>);
+static_assert(Scannable<SetAdapter<NbBst<long>>, long>);
+static_assert(Scannable<SetAdapter<LockedBst<long>>, long>);
+static_assert(Scannable<SetAdapter<CowBst<long>>, long>);
+static_assert(Scannable<SetAdapter<LfSkipList<long>>, long>);
+
+static_assert(PrefixScannable<SetAdapter<PnbBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<NbBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<LockedBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<CowBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<LfSkipList<long>>, long>);
+
+static_assert(Snapshottable<SetAdapter<PnbBst<long>>>);
+static_assert(PhasedSnapshottable<SetAdapter<PnbBst<long>>>);
+
+// The underlying structures model the concepts directly as well.
+static_assert(OrderedSet<PnbBst<long>, long> && Scannable<PnbBst<long>, long> &&
+              PrefixScannable<PnbBst<long>, long> &&
+              PhasedSnapshottable<PnbBst<long>>);
 
 }  // namespace pnbbst

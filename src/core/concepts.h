@@ -1,0 +1,102 @@
+// C++20 concepts for the public container API.
+//
+// Every structure in this repo — the paper's PNB-BST, the baselines, the
+// PnbMap key/value layer and the sharded front-end — is written against one
+// of these surfaces, and baseline/set_adapter.h static_asserts each adapter
+// specialization against them, so an API drift is a compile error instead of
+// a duck-typing surprise deep inside a bench.
+//
+//   OrderedSet<S, K>        point ops: insert / erase / contains
+//   Scannable<S, K>         linear range queries: range_count / range_scan
+//   PrefixScannable<S, K>   early-terminating scans: range_visit_while
+//   OrderedMap<M, K, V>     key/value point ops incl. get / get_or / assign
+//   MapScannable<M, K, V>   key/value range queries: visit_range & friends
+//   Snapshottable<S>        snapshot() handle with size() (+ phase() where
+//                           the structure is phase-versioned, see
+//                           PhasedSnapshottable)
+#pragma once
+
+// Same fail-fast guard as reclaim/reclaimer.h: one readable error instead
+// of a concept-syntax cascade when the compiler is not in C++20 mode.
+#if !defined(__cpp_concepts) || __cpp_concepts < 201707L
+#error "PNB-BST requires C++20 (concepts): compile with -std=c++20 or newer"
+#endif
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pnbbst {
+
+// Point-operation surface of an ordered set of K. All three return whether
+// the operation changed / observed membership.
+template <class S, class K>
+concept OrderedSet = requires(S s, const K& k) {
+  { s.insert(k) } -> std::same_as<bool>;
+  { s.erase(k) } -> std::same_as<bool>;
+  { s.contains(k) } -> std::same_as<bool>;
+};
+
+// Range-query surface of an ordered set: counts and materialized ascending
+// scans over the inclusive key interval [lo, hi].
+template <class S, class K>
+concept Scannable = requires(S s, const K& lo, const K& hi) {
+  { s.range_count(lo, hi) } -> std::same_as<std::size_t>;
+  { s.range_scan(lo, hi) } -> std::same_as<std::vector<K>>;
+};
+
+// Early-terminating scans: the visitor returns false to stop; the visited
+// keys are an ascending prefix of the range.
+template <class S, class K>
+concept PrefixScannable =
+    Scannable<S, K> &&
+    requires(S s, const K& lo, const K& hi, bool (*vis)(const K&)) {
+      s.range_visit_while(lo, hi, vis);
+    };
+
+// Point-operation surface of an ordered map from K to V.
+template <class M, class K, class V>
+concept OrderedMap = requires(M m, const K& k, const V& v) {
+  { m.insert(k, v) } -> std::same_as<bool>;
+  { m.erase(k) } -> std::same_as<bool>;
+  { m.contains(k) } -> std::same_as<bool>;
+  { m.get(k) } -> std::same_as<std::optional<V>>;
+  { m.get_or(k, v) } -> std::same_as<V>;
+  { m.assign(k, v) } -> std::same_as<bool>;
+  { m.size() } -> std::same_as<std::size_t>;
+  { m.empty() } -> std::same_as<bool>;
+};
+
+// Range-query surface of an ordered map: visitation yields (key, value),
+// materialized scans yield pairs in ascending key order.
+template <class M, class K, class V>
+concept MapScannable =
+    requires(M m, const K& lo, const K& hi, void (*vis)(const K&, const V&),
+             bool (*pred)(const K&, const V&)) {
+      { m.range_count(lo, hi) } -> std::same_as<std::size_t>;
+      { m.range_scan(lo, hi) } -> std::same_as<std::vector<std::pair<K, V>>>;
+      m.visit_range(lo, hi, vis);
+      m.range_visit_while(lo, hi, pred);
+    };
+
+// A structure whose state at one instant can be captured as a first-class
+// handle supporting mutually consistent queries.
+template <class S>
+concept Snapshottable = requires(S s) {
+  typename S::Snapshot;
+  { s.snapshot() } -> std::same_as<typename S::Snapshot>;
+  { s.snapshot().size() } -> std::convertible_to<std::size_t>;
+};
+
+// Snapshottable whose handle exposes the phase (version number) it froze —
+// the PNB-BST multi-version substrate.
+template <class S>
+concept PhasedSnapshottable =
+    Snapshottable<S> && requires(S s) {
+      { s.snapshot().phase() } -> std::convertible_to<std::uint64_t>;
+    };
+
+}  // namespace pnbbst

@@ -6,8 +6,10 @@
 // pair ordered first by class. Sentinel keys never leave the tree.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 
 namespace pnbbst {
 
@@ -29,6 +31,19 @@ struct ExtKey {
   bool is_finite() const noexcept { return cls == KeyClass::kFinite; }
 };
 
+// A probe type Compare can order against Key from both sides. Key itself
+// always qualifies; with a transparent Compare (e.g. std::less<> or the map
+// comparator in core/pnb_map.h) so do lighter-weight lookup types — the hook
+// behind heterogeneous contains/get/erase/range queries that never
+// materialize a stored Key.
+template <class Q, class Key, class Compare>
+concept ProbeFor =
+    !std::same_as<std::remove_cvref_t<Q>, ExtKey<Key>> &&
+    requires(const Compare& c, const Q& q, const Key& k) {
+      { c(q, k) } -> std::convertible_to<bool>;
+      { c(k, q) } -> std::convertible_to<bool>;
+    };
+
 // Strict weak order over extended keys: class order dominates, finite keys
 // compare with the user comparator. Equal-class sentinels are equal.
 template <class Key, class Compare = std::less<Key>>
@@ -43,17 +58,23 @@ struct ExtKeyLess {
     return cmp(a.key, b.key);
   }
 
-  // finite-vs-extended shortcuts used on the search path
-  bool operator()(const Key& a, const ExtKey<Key>& b) const {
+  // probe-vs-extended shortcuts used on the search path
+  template <class Q>
+    requires ProbeFor<Q, Key, Compare>
+  bool operator()(const Q& a, const ExtKey<Key>& b) const {
     if (b.cls != KeyClass::kFinite) return true;  // finite < ∞
     return cmp(a, b.key);
   }
-  bool operator()(const ExtKey<Key>& a, const Key& b) const {
+  template <class Q>
+    requires ProbeFor<Q, Key, Compare>
+  bool operator()(const ExtKey<Key>& a, const Q& b) const {
     if (a.cls != KeyClass::kFinite) return false;  // ∞ > finite
     return cmp(a.key, b);
   }
 
-  bool equal(const ExtKey<Key>& a, const Key& b) const {
+  template <class Q>
+    requires ProbeFor<Q, Key, Compare>
+  bool equal(const ExtKey<Key>& a, const Q& b) const {
     return a.cls == KeyClass::kFinite && !cmp(a.key, b) && !cmp(b, a.key);
   }
   bool equal(const ExtKey<Key>& a, const ExtKey<Key>& b) const {

@@ -60,9 +60,7 @@ class PnbBst {
   using EK = ExtKey<Key>;
 
   explicit PnbBst(R& reclaimer = R::shared()) : reclaimer_(&reclaimer) {
-    dummy_ = new Info;
-    dummy_->is_dummy = true;
-    dummy_->state.store(InfoState::kAbort, std::memory_order_relaxed);
+    dummy_ = shared_dummy();
     // Initial tree (Fig. 2, line 31): Root(∞2) with leaves ∞1 and ∞2.
     root_ = new Internal;
     root_->key = EK::inf2();
@@ -109,7 +107,6 @@ class PnbBst {
       }
       node_deleter(n);
     }
-    delete dummy_;
   }
 
   // --- Set operations ------------------------------------------------------
@@ -166,8 +163,12 @@ class PnbBst {
     }
   }
 
-  // Removes k; returns false iff k was absent.
-  bool erase(const Key& k) {
+  // Removes k; returns false iff k was absent. Accepts any probe type the
+  // comparator can order against Key (heterogeneous erase — a map layered on
+  // the tree erases by key without materializing a stored entry).
+  template <class LK = Key>
+    requires ProbeFor<LK, Key, Compare>
+  bool erase(const LK& k) {
     auto guard = reclaimer_->pin();
     for (;;) {
       stats_.inc_attempts();
@@ -237,8 +238,11 @@ class PnbBst {
     }
   }
 
-  // Wait-free-helped Find (Fig. 3, lines 69–82).
-  bool contains(const Key& k) {
+  // Wait-free-helped Find (Fig. 3, lines 69–82). Heterogeneous: any probe
+  // type Compare can order against Key works (see ProbeFor, core/keyspace.h).
+  template <class LK = Key>
+    requires ProbeFor<LK, Key, Compare>
+  bool contains(const LK& k) {
     auto guard = reclaimer_->pin();
     for (;;) {
       const std::uint64_t seq = counter_.load(std::memory_order_seq_cst);
@@ -252,7 +256,9 @@ class PnbBst {
   // Like contains(), but returns the stored key object. With a comparator
   // that inspects only part of the key (e.g. the key field of a key/value
   // struct — see core/pnb_map.h), this is a linearizable lookup.
-  std::optional<Key> get(const Key& k) {
+  template <class LK = Key>
+    requires ProbeFor<LK, Key, Compare>
+  std::optional<Key> get(const LK& k) {
     auto guard = reclaimer_->pin();
     for (;;) {
       const std::uint64_t seq = counter_.load(std::memory_order_seq_cst);
@@ -269,9 +275,11 @@ class PnbBst {
   // --- Range queries (wait-free) ------------------------------------------
 
   // Visits every key in [lo, hi] in ascending order, linearized at the end
-  // of the scan's phase. Wait-free (Theorem 47).
-  template <class Visitor>
-  void range_visit(const Key& lo, const Key& hi, Visitor&& vis) {
+  // of the scan's phase. Wait-free (Theorem 47). Bounds may be any probe
+  // type Compare can order against Key.
+  template <class BLo = Key, class BHi = Key, class Visitor>
+    requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+  void range_visit(const BLo& lo, const BHi& hi, Visitor&& vis) {
     auto guard = reclaimer_->pin();
     stats_.inc_scans();
     const std::uint64_t seq =
@@ -279,13 +287,17 @@ class PnbBst {
     scan_tree(seq, &lo, &hi, vis);
   }
 
-  std::vector<Key> range_scan(const Key& lo, const Key& hi) {
+  template <class BLo = Key, class BHi = Key>
+    requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+  std::vector<Key> range_scan(const BLo& lo, const BHi& hi) {
     std::vector<Key> out;
     range_visit(lo, hi, [&out](const Key& k) { out.push_back(k); });
     return out;
   }
 
-  std::size_t range_count(const Key& lo, const Key& hi) {
+  template <class BLo = Key, class BHi = Key>
+    requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+  std::size_t range_count(const BLo& lo, const BHi& hi) {
     std::size_t n = 0;
     range_visit(lo, hi, [&n](const Key&) { ++n; });
     return n;
@@ -294,8 +306,9 @@ class PnbBst {
   // Early-terminating scan: the visitor returns false to stop. The visited
   // keys are an ascending prefix of the range at the scan's phase —
   // pagination ("first n keys >= lo") stays linearizable.
-  template <class Visitor>
-  void range_visit_while(const Key& lo, const Key& hi, Visitor&& vis) {
+  template <class BLo = Key, class BHi = Key, class Visitor>
+    requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+  void range_visit_while(const BLo& lo, const BHi& hi, Visitor&& vis) {
     auto guard = reclaimer_->pin();
     stats_.inc_scans();
     const std::uint64_t seq =
@@ -304,7 +317,9 @@ class PnbBst {
   }
 
   // First (at most) n keys of [lo, hi] in ascending order.
-  std::vector<Key> range_first(const Key& lo, const Key& hi, std::size_t n) {
+  template <class BLo = Key, class BHi = Key>
+    requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+  std::vector<Key> range_first(const BLo& lo, const BHi& hi, std::size_t n) {
     std::vector<Key> out;
     if (n == 0) return out;
     range_visit_while(lo, hi, [&out, n](const Key& k) {
@@ -322,7 +337,7 @@ class PnbBst {
         counter_.fetch_add(1, std::memory_order_seq_cst);
     std::size_t n = 0;
     auto count = [&n](const Key&) { ++n; };
-    scan_tree(seq, nullptr, nullptr, count);
+    scan_tree<Key, Key>(seq, nullptr, nullptr, count);
     return n;
   }
 
@@ -343,7 +358,9 @@ class PnbBst {
 
     std::uint64_t phase() const noexcept { return seq_; }
 
-    bool contains(const Key& k) const {
+    template <class LK = Key>
+      requires ProbeFor<LK, Key, Compare>
+    bool contains(const LK& k) const {
       Node* l = tree_->root_;
       while (!l->is_leaf()) {
         Internal* in = as_internal(l);
@@ -353,25 +370,46 @@ class PnbBst {
       return tree_->less_.equal(l->key, k);
     }
 
-    template <class Visitor>
-    void range_visit(const Key& lo, const Key& hi, Visitor&& vis) const {
+    // The stored key equal to probe k in this version, or nullopt.
+    template <class LK = Key>
+      requires ProbeFor<LK, Key, Compare>
+    std::optional<Key> get(const LK& k) const {
+      Node* l = tree_->root_;
+      while (!l->is_leaf()) {
+        Internal* in = as_internal(l);
+        tree_->help_if_in_progress(in);
+        l = tree_->read_child(in, tree_->less_(k, in->key), seq_);
+      }
+      if (!tree_->less_.equal(l->key, k)) return std::nullopt;
+      return l->key.key;
+    }
+
+    template <class BLo = Key, class BHi = Key, class Visitor>
+      requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+    void range_visit(const BLo& lo, const BHi& hi, Visitor&& vis) const {
       tree_->scan_tree(seq_, &lo, &hi, vis);
     }
 
-    std::vector<Key> range_scan(const Key& lo, const Key& hi) const {
+    template <class BLo = Key, class BHi = Key>
+      requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+    std::vector<Key> range_scan(const BLo& lo, const BHi& hi) const {
       std::vector<Key> out;
       range_visit(lo, hi, [&out](const Key& k) { out.push_back(k); });
       return out;
     }
 
-    std::size_t range_count(const Key& lo, const Key& hi) const {
+    template <class BLo = Key, class BHi = Key>
+      requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+    std::size_t range_count(const BLo& lo, const BHi& hi) const {
       std::size_t n = 0;
       range_visit(lo, hi, [&n](const Key&) { ++n; });
       return n;
     }
 
     // First (at most) n keys of [lo, hi] at this phase.
-    std::vector<Key> range_first(const Key& lo, const Key& hi,
+    template <class BLo = Key, class BHi = Key>
+      requires ProbeFor<BLo, Key, Compare> && ProbeFor<BHi, Key, Compare>
+    std::vector<Key> range_first(const BLo& lo, const BHi& hi,
                                  std::size_t n) const {
       std::vector<Key> out;
       if (n == 0) return out;
@@ -386,17 +424,21 @@ class PnbBst {
     std::size_t size() const {
       std::size_t n = 0;
       auto count = [&n](const Key&) { ++n; };
-      tree_->scan_tree(seq_, nullptr, nullptr, count);
+      tree_->template scan_tree<Key, Key>(seq_, nullptr, nullptr, count);
       return n;
     }
 
     // Smallest key >= k in this version, or nullopt. Wait-free.
-    std::optional<Key> successor(const Key& k) const {
+    template <class LK = Key>
+      requires ProbeFor<LK, Key, Compare>
+    std::optional<Key> successor(const LK& k) const {
       return tree_->bound_query(seq_, k, /*forward=*/true);
     }
 
     // Largest key <= k in this version, or nullopt. Wait-free.
-    std::optional<Key> predecessor(const Key& k) const {
+    template <class LK = Key>
+      requires ProbeFor<LK, Key, Compare>
+    std::optional<Key> predecessor(const LK& k) const {
       return tree_->bound_query(seq_, k, /*forward=*/false);
     }
 
@@ -424,13 +466,17 @@ class PnbBst {
 
   // One-shot ordered queries on the live set. Each starts a new phase (like
   // a width-0 range scan) and is wait-free and linearizable.
-  std::optional<Key> successor(const Key& k) {
+  template <class LK = Key>
+    requires ProbeFor<LK, Key, Compare>
+  std::optional<Key> successor(const LK& k) {
     auto guard = reclaimer_->pin();
     stats_.inc_scans();
     return bound_query(counter_.fetch_add(1, std::memory_order_seq_cst), k,
                        /*forward=*/true);
   }
-  std::optional<Key> predecessor(const Key& k) {
+  template <class LK = Key>
+    requires ProbeFor<LK, Key, Compare>
+  std::optional<Key> predecessor(const LK& k) {
     auto guard = reclaimer_->pin();
     stats_.inc_scans();
     return bound_query(counter_.fetch_add(1, std::memory_order_seq_cst), k,
@@ -490,7 +536,8 @@ class PnbBst {
   }
 
   // Search (Fig. 3, lines 32–42): walks T_seq to a leaf.
-  SearchResult search(const Key& k, std::uint64_t seq) {
+  template <class LK>
+  SearchResult search(const LK& k, std::uint64_t seq) {
     Internal* gp = nullptr;
     Internal* p = nullptr;
     Node* l = root_;
@@ -516,7 +563,8 @@ class PnbBst {
 
   // ValidateLeaf (Fig. 3, lines 60–68). The final re-read of p->update is
   // the linearization point of Find and of unsuccessful updates.
-  LeafCheck validate_leaf(Internal* gp, Internal* p, Node* l, const Key& k) {
+  template <class LK>
+  LeafCheck validate_leaf(Internal* gp, Internal* p, Node* l, const LK& k) {
     Update gpup{};
     const LinkCheck c1 = validate_link(p, l, less_(k, p->key));
     bool validated = c1.ok;
@@ -639,8 +687,8 @@ class PnbBst {
   // return void (visit everything) or bool (false stops the traversal — the
   // emitted keys are then the smallest keys of the range, still a
   // linearizable prefix of the version's range contents).
-  template <class Visitor>
-  void scan_tree(std::uint64_t seq, const Key* lo, const Key* hi,
+  template <class BLo, class BHi, class Visitor>
+  void scan_tree(std::uint64_t seq, const BLo* lo, const BHi* hi,
                  Visitor& vis) {
     std::vector<Node*> stack;
     stack.reserve(64);
@@ -675,7 +723,8 @@ class PnbBst {
   // Successor (forward=true: smallest key >= k) or predecessor
   // (forward=false: largest key <= k) in T_seq. Helps in-progress updates
   // along the traversed paths, exactly like ScanHelper.
-  std::optional<Key> bound_query(std::uint64_t seq, const Key& k,
+  template <class LK>
+  std::optional<Key> bound_query(std::uint64_t seq, const LK& k,
                                  bool forward) {
     Node* node = root_;
     Internal* pivot = nullptr;  // deepest turn away from the answer side
@@ -751,6 +800,23 @@ class PnbBst {
   }
 
   // --- Memory management -------------------------------------------------------
+
+  // One immortal dummy Info per instantiation, shared by every tree and
+  // never freed. It must outlive every reclaimer, not just this tree:
+  // speculative nodes retired on aborted updates still carry the initial
+  // dummy update word, and node_deleter() reads is_dummy through it when a
+  // shared reclaimer drains its limbo lists after the tree is gone (a
+  // per-tree dummy deleted in ~PnbBst was a teardown use-after-free).
+  // The record is immutable after construction, so sharing is safe.
+  static Info* shared_dummy() {
+    static Info* const d = [] {
+      Info* i = new Info;
+      i->is_dummy = true;
+      i->state.store(InfoState::kAbort, std::memory_order_relaxed);
+      return i;
+    }();
+    return d;
+  }
 
   Leaf* make_leaf(const EK& k, std::uint64_t seq, Node* prev) {
     auto* l = new Leaf;

@@ -6,30 +6,86 @@
 // structure has no in-place value update; `assign` is erase+insert and is
 // therefore NOT atomic — documented).
 //
+// Lookups are heterogeneous: contains / get / get_or / erase and all range
+// queries probe the tree with the key (or, when Compare is transparent, any
+// type Compare can order against K) and never construct a V. Values are
+// stored in a ValueBox so V does not have to be default-constructible: the
+// tree's sentinel entries simply hold an empty box (their values are never
+// read).
+//
 // All guarantees carry over: non-blocking updates/lookups, wait-free
-// linearizable range queries and snapshots.
+// linearizable range queries and snapshots (see PnbBst::Snapshot).
 #pragma once
 
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/concepts.h"
 #include "core/pnb_bst.h"
 
 namespace pnbbst {
 
-template <class K, class V>
-struct MapEntry {
-  K key{};
-  V value{};
+namespace detail {
+
+// Storage for a map entry's value. Sentinel/probe entries never have their
+// value read, so a default-constructible V is stored directly (zero space
+// overhead); otherwise an optional supplies the empty default state.
+template <class V, bool = std::is_default_constructible_v<V>>
+struct ValueBox {
+  V v{};
+  ValueBox() = default;
+  explicit ValueBox(V val) : v(std::move(val)) {}
+  V& get() noexcept { return v; }
+  const V& get() const noexcept { return v; }
 };
 
+template <class V>
+struct ValueBox<V, false> {
+  std::optional<V> v{};
+  ValueBox() = default;
+  explicit ValueBox(V val) : v(std::move(val)) {}
+  V& get() noexcept { return *v; }
+  const V& get() const noexcept { return *v; }
+};
+
+}  // namespace detail
+
+template <class K, class V>
+struct MapEntry {
+  MapEntry() = default;
+  MapEntry(K k, V v) : key(std::move(k)), box(std::move(v)) {}
+
+  V& value() noexcept { return box.get(); }
+  const V& value() const noexcept { return box.get(); }
+
+  K key{};
+  detail::ValueBox<V> box{};
+};
+
+// Orders entries by key only, and transparently orders entries against bare
+// keys (and, when Compare is itself transparent, against any probe type it
+// accepts) so lookups never construct a value.
 template <class K, class V, class Compare = std::less<K>>
 struct MapEntryLess {
+  using is_transparent = void;
+  using Entry = MapEntry<K, V>;
   [[no_unique_address]] Compare cmp{};
-  bool operator()(const MapEntry<K, V>& a, const MapEntry<K, V>& b) const {
+
+  bool operator()(const Entry& a, const Entry& b) const {
     return cmp(a.key, b.key);
+  }
+  template <class Q>
+    requires ProbeFor<Q, K, Compare>
+  bool operator()(const Entry& a, const Q& b) const {
+    return cmp(a.key, b);
+  }
+  template <class Q>
+    requires ProbeFor<Q, K, Compare>
+  bool operator()(const Q& a, const Entry& b) const {
+    return cmp(a, b.key);
   }
 };
 
@@ -37,70 +93,212 @@ template <class K, class V, class Compare = std::less<K>,
           class R = EpochReclaimer, class Stats = NullOpStats>
 class PnbMap {
  public:
+  using key_type = K;
+  using mapped_type = V;
   using Entry = MapEntry<K, V>;
   using Tree = PnbBst<Entry, MapEntryLess<K, V, Compare>, R, Stats>;
 
   explicit PnbMap(R& reclaimer = R::shared()) : tree_(reclaimer) {}
 
+  // --- Point operations (non-blocking, linearizable) -----------------------
+
   // Inserts (k, v) if k is absent; returns false (leaving the existing
   // value untouched) otherwise.
-  bool insert(const K& k, const V& v) { return tree_.insert(Entry{k, v}); }
+  bool insert(K k, V v) {
+    return tree_.insert(Entry(std::move(k), std::move(v)));
+  }
 
-  bool erase(const K& k) { return tree_.erase(Entry{k, V{}}); }
+  template <class Q = K>
+    requires ProbeFor<Q, K, Compare>
+  bool erase(const Q& k) {
+    return tree_.erase(k);
+  }
 
-  bool contains(const K& k) { return tree_.contains(Entry{k, V{}}); }
+  template <class Q = K>
+    requires ProbeFor<Q, K, Compare>
+  bool contains(const Q& k) {
+    return tree_.contains(k);
+  }
 
   // The value stored under k, if any. Linearizable.
-  std::optional<V> get(const K& k) {
-    auto entry = tree_.get(Entry{k, V{}});
+  template <class Q = K>
+    requires ProbeFor<Q, K, Compare>
+  std::optional<V> get(const Q& k) {
+    auto entry = tree_.get(k);
     if (!entry) return std::nullopt;
-    return entry->value;
+    return std::move(entry->value());
+  }
+
+  // The value stored under k, or `fallback` when k is absent.
+  template <class Q = K>
+    requires ProbeFor<Q, K, Compare>
+  V get_or(const Q& k, V fallback) {
+    auto entry = tree_.get(k);
+    return entry ? std::move(entry->value()) : std::move(fallback);
   }
 
   // Replaces the value under k by erase+insert. NOT atomic: a concurrent
   // reader may observe the key briefly absent. Returns true if a previous
   // mapping existed.
   bool assign(const K& k, const V& v) {
-    const bool existed = tree_.erase(Entry{k, V{}});
-    tree_.insert(Entry{k, v});
+    const bool existed = tree_.erase(k);
+    tree_.insert(Entry(k, v));
     return existed;
   }
 
-  // Visits entries with keys in [lo, hi] in ascending key order;
-  // wait-free and linearizable.
-  template <class Visitor>
-  void range_visit(const K& lo, const K& hi, Visitor&& vis) {
-    tree_.range_visit(Entry{lo, V{}}, Entry{hi, V{}},
-                      [&vis](const Entry& e) { vis(e.key, e.value); });
+  // --- Range queries (wait-free, linearizable) -----------------------------
+
+  // Visits (key, value) pairs with keys in [lo, hi] in ascending key order.
+  template <class QLo = K, class QHi = K, class Visitor>
+    requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+  void visit_range(const QLo& lo, const QHi& hi, Visitor&& vis) {
+    tree_.range_visit(lo, hi,
+                      [&vis](const Entry& e) { vis(e.key, e.value()); });
   }
 
-  std::vector<std::pair<K, V>> range_scan(const K& lo, const K& hi) {
+  // Early-terminating variant: the visitor returns false to stop; the
+  // visited pairs are an ascending prefix of the range at the scan's phase.
+  template <class QLo = K, class QHi = K, class Visitor>
+    requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+  void range_visit_while(const QLo& lo, const QHi& hi, Visitor&& vis) {
+    tree_.range_visit_while(lo, hi, [&vis](const Entry& e) -> bool {
+      return vis(e.key, e.value());
+    });
+  }
+
+  // Compatibility alias for visit_range.
+  template <class QLo = K, class QHi = K, class Visitor>
+    requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+  void range_visit(const QLo& lo, const QHi& hi, Visitor&& vis) {
+    visit_range(lo, hi, std::forward<Visitor>(vis));
+  }
+
+  template <class QLo = K, class QHi = K>
+    requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+  std::vector<std::pair<K, V>> range_scan(const QLo& lo, const QHi& hi) {
     std::vector<std::pair<K, V>> out;
-    range_visit(lo, hi,
+    visit_range(lo, hi,
                 [&out](const K& k, const V& v) { out.emplace_back(k, v); });
     return out;
   }
 
-  std::size_t range_count(const K& lo, const K& hi) {
-    return tree_.range_count(Entry{lo, V{}}, Entry{hi, V{}});
+  // First (at most) n pairs of [lo, hi] in ascending key order.
+  template <class QLo = K, class QHi = K>
+    requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+  std::vector<std::pair<K, V>> range_first(const QLo& lo, const QHi& hi,
+                                           std::size_t n) {
+    std::vector<std::pair<K, V>> out;
+    if (n == 0) return out;
+    range_visit_while(lo, hi, [&out, n](const K& k, const V& v) {
+      out.emplace_back(k, v);
+      return out.size() < n;
+    });
+    return out;
+  }
+
+  template <class QLo = K, class QHi = K>
+    requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+  std::size_t range_count(const QLo& lo, const QHi& hi) {
+    return tree_.range_count(lo, hi);
   }
 
   std::size_t size() { return tree_.size(); }
   bool empty() { return tree_.empty(); }
 
-  // Snapshot of the map at one phase.
+  // --- Ordered queries -----------------------------------------------------
+
+  template <class Q = K>
+    requires ProbeFor<Q, K, Compare>
+  std::optional<std::pair<K, V>> successor(const Q& k) {
+    return to_pair(tree_.successor(k));
+  }
+  template <class Q = K>
+    requires ProbeFor<Q, K, Compare>
+  std::optional<std::pair<K, V>> predecessor(const Q& k) {
+    return to_pair(tree_.predecessor(k));
+  }
+  std::optional<std::pair<K, V>> min() { return to_pair(tree_.min()); }
+  std::optional<std::pair<K, V>> max() { return to_pair(tree_.max()); }
+
+  // --- Snapshots -----------------------------------------------------------
+
+  // Snapshot of the map at one phase; mirrors PnbBst::Snapshot. Holds an
+  // epoch pin for its lifetime — destroy promptly.
   class Snapshot {
    public:
-    bool contains(const K& k) const {
-      return snap_.contains(Entry{k, V{}});
-    }
-    std::size_t size() const { return snap_.size(); }
-    template <class Visitor>
-    void range_visit(const K& lo, const K& hi, Visitor&& vis) const {
-      snap_.range_visit(Entry{lo, V{}}, Entry{hi, V{}},
-                        [&vis](const Entry& e) { vis(e.key, e.value); });
-    }
     std::uint64_t phase() const { return snap_.phase(); }
+
+    template <class Q = K>
+      requires ProbeFor<Q, K, Compare>
+    bool contains(const Q& k) const {
+      return snap_.contains(k);
+    }
+
+    template <class Q = K>
+      requires ProbeFor<Q, K, Compare>
+    std::optional<V> get(const Q& k) const {
+      auto entry = snap_.get(k);
+      if (!entry) return std::nullopt;
+      return std::move(entry->value());
+    }
+
+    std::size_t size() const { return snap_.size(); }
+
+    template <class QLo = K, class QHi = K, class Visitor>
+      requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+    void visit_range(const QLo& lo, const QHi& hi, Visitor&& vis) const {
+      snap_.range_visit(lo, hi,
+                        [&vis](const Entry& e) { vis(e.key, e.value()); });
+    }
+
+    // Compatibility alias for visit_range.
+    template <class QLo = K, class QHi = K, class Visitor>
+      requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+    void range_visit(const QLo& lo, const QHi& hi, Visitor&& vis) const {
+      visit_range(lo, hi, std::forward<Visitor>(vis));
+    }
+
+    template <class QLo = K, class QHi = K>
+      requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+    std::vector<std::pair<K, V>> range_scan(const QLo& lo, const QHi& hi) const {
+      std::vector<std::pair<K, V>> out;
+      visit_range(lo, hi,
+                  [&out](const K& k, const V& v) { out.emplace_back(k, v); });
+      return out;
+    }
+
+    template <class QLo = K, class QHi = K>
+      requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+    std::size_t range_count(const QLo& lo, const QHi& hi) const {
+      return snap_.range_count(lo, hi);
+    }
+
+    // First (at most) n pairs of [lo, hi] at this phase.
+    template <class QLo = K, class QHi = K>
+      requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
+    std::vector<std::pair<K, V>> range_first(const QLo& lo, const QHi& hi,
+                                             std::size_t n) const {
+      std::vector<std::pair<K, V>> out;
+      if (n == 0) return out;
+      snap_.range_visit(lo, hi, [&out, n](const Entry& e) -> bool {
+        out.emplace_back(e.key, e.value());
+        return out.size() < n;
+      });
+      return out;
+    }
+
+    template <class Q = K>
+      requires ProbeFor<Q, K, Compare>
+    std::optional<std::pair<K, V>> successor(const Q& k) const {
+      return to_pair(snap_.successor(k));
+    }
+    template <class Q = K>
+      requires ProbeFor<Q, K, Compare>
+    std::optional<std::pair<K, V>> predecessor(const Q& k) const {
+      return to_pair(snap_.predecessor(k));
+    }
+    std::optional<std::pair<K, V>> min() const { return to_pair(snap_.min()); }
+    std::optional<std::pair<K, V>> max() const { return to_pair(snap_.max()); }
 
    private:
     friend class PnbMap;
@@ -115,7 +313,18 @@ class PnbMap {
   Tree& underlying() noexcept { return tree_; }
 
  private:
+  static std::optional<std::pair<K, V>> to_pair(std::optional<Entry>&& e) {
+    if (!e) return std::nullopt;
+    return std::make_pair(std::move(e->key), std::move(e->value()));
+  }
+
   Tree tree_;
 };
+
+// The map models the concept surface it defines (core/concepts.h); checked
+// here so any signature drift fails at the definition, not in a user TU.
+static_assert(OrderedMap<PnbMap<long, long>, long, long>);
+static_assert(MapScannable<PnbMap<long, long>, long, long>);
+static_assert(PhasedSnapshottable<PnbMap<long, long>>);
 
 }  // namespace pnbbst

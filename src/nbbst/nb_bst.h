@@ -122,7 +122,7 @@ class NbBst {
   };
 
   explicit NbBst(R& reclaimer = R::shared()) : reclaimer_(&reclaimer) {
-    dummy_ = new NbInfo;  // Kind::kDummy; never helped, never released
+    dummy_ = shared_dummy();  // Kind::kDummy; never helped, never released
     root_ = make_internal(EK::inf2());
     root_->left.store(make_leaf(EK::inf1()), std::memory_order_relaxed);
     root_->right.store(make_leaf(EK::inf2()), std::memory_order_relaxed);
@@ -143,7 +143,6 @@ class NbBst {
       }
       node_deleter(n);
     }
-    delete dummy_;
   }
 
   bool insert(const Key& k) {
@@ -407,6 +406,16 @@ class NbBst {
                      std::memory_order_relaxed);
     stats_.inc_nodes_allocated();
     return in;
+  }
+
+  // One immortal dummy NbInfo per instantiation, shared by every tree and
+  // never freed: retired nodes still carrying the initial dummy word can
+  // outlive their tree inside a shared reclaimer's limbo lists, and
+  // node_deleter() reads the record's kind through them (mirrors
+  // PnbBst::shared_dummy; a per-tree dummy was a teardown use-after-free).
+  static NbInfo* shared_dummy() {
+    static NbInfo* const d = new NbInfo;  // Kind::kDummy by default
+    return d;
   }
 
   void retire_node(Node* n) {

@@ -1,0 +1,383 @@
+// ShardedPnbMap — a sharded front-end over per-shard PnbMaps.
+//
+// The Ellen-et-al.-style helping protocol underlying PNB-BST is
+// disjoint-access parallel, so partitioning the key space across NumShards
+// independent trees composes cleanly: point operations route to one shard
+// and keep that shard's full guarantees (non-blocking updates, linearizable
+// lookups); range queries take one wait-free snapshot per shard in the
+// query's span and k-way-merge the per-shard results.
+//
+// Splitter policies (the routing function) own the key→shard mapping:
+//
+//   RangeSplitter<K>  contiguous key-range partition over a configured
+//                     [lo, hi) keyspace (integral K). Scans touch only the
+//                     shards overlapping the query range, so narrow scans
+//                     cost one snapshot instead of NumShards.
+//   HashSplitter<K>   mixed std::hash partition — balances any key
+//                     distribution, but every scan spans all shards.
+//
+// Cross-shard consistency contract
+// --------------------------------
+// Each shard is an independent PNB-BST with its own phase counter, so there
+// is no global linearization point for a multi-shard operation:
+//
+//   * Point ops (insert/erase/contains/get/get_or) touch exactly one shard
+//     and are linearizable exactly as PnbMap's are.
+//   * A merged scan (range_scan / range_count / size / snapshot) takes its
+//     per-shard snapshots in ascending shard order. Every snapshot is
+//     wait-free and linearizable *within its shard*, and is taken between
+//     the merged operation's invocation and response. Since every key is
+//     owned by exactly one shard, each key's reported presence/value is its
+//     true state at that shard's linearization point — i.e. the merged
+//     result is a union of per-shard linearizable views ("per-key atomic",
+//     a regular-register-style guarantee). What is NOT guaranteed is a
+//     single point in time at which the whole merged result was the state
+//     of the map: an update sequence spanning two shards during the scan
+//     can be observed half-applied. Scans whose splitter span is a single
+//     shard (always true for point-like ranges under RangeSplitter) ARE
+//     fully linearizable.
+//   * assign keeps PnbMap's documented non-atomicity on top of this.
+//
+// The per-shard wait-freedom bound is preserved: a merged scan performs
+// NumShards wait-free scans plus a bounded merge, so it cannot be starved
+// by concurrent updates.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/concepts.h"
+#include "core/pnb_map.h"
+#include "util/random.h"
+
+namespace pnbbst {
+
+// Contiguous range partition of an integral keyspace [lo, hi). Keys outside
+// the configured bounds clamp to the edge shards, so the splitter is total.
+template <class K>
+struct RangeSplitter {
+  static_assert(std::is_integral_v<K>,
+                "RangeSplitter needs an integral key; use HashSplitter");
+  static constexpr bool kRangePartitioned = true;
+
+  K lo{};
+  K hi{};  // exclusive
+
+  std::size_t shard_of(const K& k, std::size_t nshards) const {
+    if (k < lo) return 0;
+    if (k >= hi) return nshards - 1;
+    const auto span = static_cast<std::uint64_t>(hi) -
+                      static_cast<std::uint64_t>(lo);
+    // ceil(span / nshards) — written without `span + nshards - 1`, which
+    // wraps for spans near the full 64-bit keyspace (width 0 would then
+    // divide by zero / index out of bounds).
+    const auto width = span / nshards + (span % nshards != 0 ? 1 : 0);
+    const auto off = static_cast<std::uint64_t>(k) -
+                     static_cast<std::uint64_t>(lo);
+    return static_cast<std::size_t>(off / width);
+  }
+
+  // Half-open shard interval that can contain keys of [a, b].
+  std::pair<std::size_t, std::size_t> shard_span(const K& a, const K& b,
+                                                 std::size_t nshards) const {
+    if (b < a) return {0, 0};
+    return {shard_of(a, nshards), shard_of(b, nshards) + 1};
+  }
+};
+
+// Hash partition: balances arbitrary key distributions (no bounds needed),
+// at the cost of every range query spanning all shards.
+template <class K, class Hash = std::hash<K>>
+struct HashSplitter {
+  static constexpr bool kRangePartitioned = false;
+
+  [[no_unique_address]] Hash hash{};
+
+  std::size_t shard_of(const K& k, std::size_t nshards) const {
+    // std::hash is the identity for integers; mix so that dense key ranges
+    // do not alias into a stride pattern across shards.
+    return static_cast<std::size_t>(
+        mix64(static_cast<std::uint64_t>(hash(k))) % nshards);
+  }
+
+  std::pair<std::size_t, std::size_t> shard_span(const K&, const K&,
+                                                 std::size_t nshards) const {
+    return {0, nshards};
+  }
+};
+
+// REQUIREMENT: the Splitter must agree with Compare's equivalence classes —
+// keys that Compare treats as equal must route to the same shard, or one
+// logical key can be stored in two shards (insert-if-absent would accept
+// both, point ops would consult only the routed one). The provided splitters
+// satisfy this for the default std::less<K>; a custom Compare that coarsens
+// equality (e.g. case-insensitive strings) needs a splitter keyed on the
+// same canonical form.
+template <class K, class V, std::size_t NumShards = 8,
+          class Splitter = HashSplitter<K>, class Compare = std::less<K>,
+          class R = EpochReclaimer, class Stats = NullOpStats>
+class ShardedPnbMap {
+  static_assert(NumShards >= 1, "at least one shard");
+
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using Map = PnbMap<K, V, Compare, R, Stats>;
+  static constexpr std::size_t kNumShards = NumShards;
+
+  explicit ShardedPnbMap(Splitter splitter = Splitter{},
+                         R& reclaimer = R::shared())
+      : splitter_(std::move(splitter)) {
+    for (auto& s : shards_) s = std::make_unique<Map>(reclaimer);
+  }
+
+  // --- Point operations (single shard, fully linearizable) -----------------
+
+  bool insert(K k, V v) {
+    Map& s = shard(k);
+    return s.insert(std::move(k), std::move(v));
+  }
+
+  bool erase(const K& k) { return shard(k).erase(k); }
+  bool contains(const K& k) { return shard(k).contains(k); }
+  std::optional<V> get(const K& k) { return shard(k).get(k); }
+  V get_or(const K& k, V fallback) {
+    return shard(k).get_or(k, std::move(fallback));
+  }
+
+  // Erase+insert on the owning shard; inherits PnbMap::assign's documented
+  // non-atomicity (a reader may observe the key briefly absent).
+  bool assign(const K& k, const V& v) { return shard(k).assign(k, v); }
+
+  // --- Merged range queries (see consistency contract above) ---------------
+
+  // (key, value) pairs with keys in [lo, hi], ascending, k-way-merged from
+  // one wait-free snapshot per shard in the splitter's span.
+  std::vector<std::pair<K, V>> range_scan(const K& lo, const K& hi) {
+    return snapshot_span(lo, hi).range_scan(lo, hi);
+  }
+
+  std::size_t range_count(const K& lo, const K& hi) {
+    return snapshot_span(lo, hi).range_count(lo, hi);
+  }
+
+  // First (at most) n merged pairs of [lo, hi] in ascending key order.
+  std::vector<std::pair<K, V>> range_first(const K& lo, const K& hi,
+                                           std::size_t n) {
+    return snapshot_span(lo, hi).range_first(lo, hi, n);
+  }
+
+  // Streaming merged visit in bounded pages (see Snapshot::visit_while):
+  // the first pair is delivered after one page, not after materializing the
+  // whole range.
+  template <class Visitor>
+  void visit_range(const K& lo, const K& hi, Visitor&& vis) {
+    snapshot_span(lo, hi).visit_while(lo, hi, [&vis](const K& k, const V& v) {
+      vis(k, v);
+      return true;
+    });
+  }
+
+  // Early-terminating merged visit: vis returns false to stop. The visited
+  // pairs are an ascending prefix of the merged range; stopping after p
+  // pairs does O(p)-ish work instead of materializing the whole range.
+  template <class Visitor>
+  void range_visit_while(const K& lo, const K& hi, Visitor&& vis) {
+    snapshot_span(lo, hi).visit_while(lo, hi, std::forward<Visitor>(vis));
+  }
+
+  std::size_t size() { return snapshot().size(); }
+  bool empty() { return size() == 0; }
+
+  // --- Snapshots -----------------------------------------------------------
+
+  // Composite snapshot: one per-shard snapshot, taken in ascending shard
+  // order. Queries against it are mutually consistent per shard (and
+  // repeatable: the same Snapshot always answers the same), but the shard
+  // snapshots belong to different per-shard phases — see the contract above.
+  class Snapshot {
+   public:
+    bool contains(const K& k) const {
+      const auto* snap = route(k);
+      return snap != nullptr && snap->contains(k);
+    }
+
+    std::optional<V> get(const K& k) const {
+      const auto* snap = route(k);
+      if (snap == nullptr) return std::nullopt;
+      return snap->get(k);
+    }
+
+    std::size_t size() const {
+      std::size_t n = 0;
+      for (const auto& s : snaps_) n += s.snap.size();
+      return n;
+    }
+
+    std::size_t range_count(const K& lo, const K& hi) const {
+      std::size_t n = 0;
+      for (const auto& s : snaps_) n += s.snap.range_count(lo, hi);
+      return n;
+    }
+
+    std::vector<std::pair<K, V>> range_scan(const K& lo, const K& hi) const {
+      std::vector<std::vector<std::pair<K, V>>> parts;
+      parts.reserve(snaps_.size());
+      for (const auto& s : snaps_) parts.push_back(s.snap.range_scan(lo, hi));
+      return merge_sorted(std::move(parts));
+    }
+
+    std::vector<std::pair<K, V>> range_first(const K& lo, const K& hi,
+                                             std::size_t n) const {
+      // Each shard contributes at most n pairs to the merged first-n.
+      std::vector<std::vector<std::pair<K, V>>> parts;
+      parts.reserve(snaps_.size());
+      for (const auto& s : snaps_) parts.push_back(s.snap.range_first(lo, hi, n));
+      auto merged = merge_sorted(std::move(parts));
+      if (merged.size() > n) merged.resize(n);
+      return merged;
+    }
+
+    template <class Visitor>
+    void visit_range(const K& lo, const K& hi, Visitor&& vis) const {
+      visit_while(lo, hi, [&vis](const K& k, const V& v) {
+        vis(k, v);
+        return true;
+      });
+    }
+
+    // Early-terminating merged visit (vis returns false to stop), paged in
+    // bounded chunks: each chunk costs every overlapped shard
+    // O(chunk + depth), so neither full visits nor early exits materialize
+    // the whole range at once.
+    template <class Visitor>
+    void visit_while(const K& lo, const K& hi, Visitor&& vis) const {
+      constexpr std::size_t kPage = 256;
+      Compare cmp{};
+      K cursor = lo;
+      bool skip_cursor = false;  // cursor key emitted by the previous page
+      for (;;) {
+        const auto page = range_first(cursor, hi, kPage);
+        std::size_t i = 0;
+        if (skip_cursor && !page.empty() && !cmp(page.front().first, cursor) &&
+            !cmp(cursor, page.front().first)) {
+          i = 1;
+        }
+        for (; i < page.size(); ++i) {
+          if (!vis(page[i].first, page[i].second)) return;
+        }
+        if (page.size() < kPage) return;
+        // Restart at the last emitted key (kept inclusive because K need
+        // not be incrementable) and drop its duplicate from the next page.
+        cursor = page.back().first;
+        skip_cursor = true;
+      }
+    }
+
+    // Per-shard phases frozen by this snapshot (one entry per shard in the
+    // snapshot's span); phases of different shards are not comparable.
+    std::vector<std::uint64_t> phases() const {
+      std::vector<std::uint64_t> out;
+      out.reserve(snaps_.size());
+      for (const auto& s : snaps_) out.push_back(s.snap.phase());
+      return out;
+    }
+
+   private:
+    friend class ShardedPnbMap;
+    struct ShardSnap {
+      std::size_t shard;
+      typename Map::Snapshot snap;
+    };
+
+    Snapshot(const ShardedPnbMap* owner, std::vector<ShardSnap>&& snaps)
+        : owner_(owner), snaps_(std::move(snaps)) {}
+
+    // Snapshot of the shard owning k, or nullptr when k's shard is outside
+    // this snapshot's span.
+    const typename Map::Snapshot* route(const K& k) const {
+      const std::size_t idx = owner_->splitter_.shard_of(k, NumShards);
+      for (const auto& s : snaps_) {
+        if (s.shard == idx) return &s.snap;
+      }
+      return nullptr;
+    }
+
+    const ShardedPnbMap* owner_;
+    std::vector<ShardSnap> snaps_;
+  };
+
+  // Snapshot covering all shards.
+  Snapshot snapshot() { return snapshot_shards(0, NumShards); }
+
+  // --- Introspection --------------------------------------------------------
+
+  Map& shard_ref(std::size_t i) { return *shards_[i]; }
+  const Splitter& splitter() const noexcept { return splitter_; }
+  std::size_t shard_of(const K& k) const {
+    return splitter_.shard_of(k, NumShards);
+  }
+
+ private:
+  Map& shard(const K& k) { return *shards_[shard_of(k)]; }
+
+  // Snapshot restricted to the shards that can hold keys of [lo, hi].
+  Snapshot snapshot_span(const K& lo, const K& hi) {
+    const auto [first, last] = splitter_.shard_span(lo, hi, NumShards);
+    return snapshot_shards(first, last);
+  }
+
+  Snapshot snapshot_shards(std::size_t first, std::size_t last) {
+    std::vector<typename Snapshot::ShardSnap> snaps;
+    snaps.reserve(last - first);
+    for (std::size_t i = first; i < last; ++i) {
+      snaps.push_back({i, shards_[i]->snapshot()});
+    }
+    return Snapshot(this, std::move(snaps));
+  }
+
+  // k-way merge of ascending per-shard runs. Cursor scan: O(total · parts),
+  // with parts = NumShards small and runs disjoint under RangeSplitter this
+  // beats a heap in practice and stays obviously correct.
+  static std::vector<std::pair<K, V>> merge_sorted(
+      std::vector<std::vector<std::pair<K, V>>>&& parts) {
+    Compare cmp{};
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    std::vector<std::pair<K, V>> out;
+    out.reserve(total);
+    std::vector<std::size_t> pos(parts.size(), 0);
+    while (out.size() < total) {
+      std::size_t best = parts.size();
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (pos[i] >= parts[i].size()) continue;
+        if (best == parts.size() ||
+            cmp(parts[i][pos[i]].first, parts[best][pos[best]].first)) {
+          best = i;
+        }
+      }
+      out.push_back(std::move(parts[best][pos[best]]));
+      ++pos[best];
+    }
+    return out;
+  }
+
+  [[no_unique_address]] Splitter splitter_;
+  std::array<std::unique_ptr<Map>, NumShards> shards_;
+};
+
+// The sharded front-end models the same concepts as the single-shard map.
+static_assert(OrderedMap<ShardedPnbMap<long, long, 4>, long, long>);
+static_assert(MapScannable<ShardedPnbMap<long, long, 4>, long, long>);
+static_assert(Snapshottable<ShardedPnbMap<long, long, 4>>);
+static_assert(
+    OrderedMap<ShardedPnbMap<long, long, 4, RangeSplitter<long>>, long, long>);
+
+}  // namespace pnbbst

@@ -85,4 +85,76 @@ std::string Table::to_csv() const {
   return out;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+// A cell is emitted unquoted only if it is a valid JSON number token per the
+// RFC 8259 grammar. A looser strtod check would also pass "nan"/"inf"/hex —
+// a 0/0 bench cell must come out as the string "nan", not break the
+// document.
+static bool is_number(const std::string& s) {
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  auto digits = [&] {
+    std::size_t count = 0;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i, ++count;
+    return count;
+  };
+  if (i < n && s[i] == '-') ++i;
+  const std::size_t int_start = i;
+  const std::size_t int_digits = digits();
+  if (int_digits == 0) return false;
+  if (int_digits > 1 && s[int_start] == '0') return false;  // no leading 0s
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (digits() == 0) return false;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (digits() == 0) return false;
+  }
+  return i == n;
+}
+
+std::string Table::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = pad + "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += pad + "  {";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < rows_[i].size() ? rows_[i][c] : "";
+      if (c) out += ", ";
+      out += '"' + json_escape(header_[c]) + "\": ";
+      if (is_number(cell)) {
+        out += cell;
+      } else {
+        out += '"' + json_escape(cell) + '"';
+      }
+    }
+    out += i + 1 == rows_.size() ? "}\n" : "},\n";
+  }
+  out += pad + "]";
+  return out;
+}
+
 }  // namespace pnbbst

@@ -11,6 +11,11 @@
 
 namespace pnbbst {
 
+// Escapes a string for embedding in a JSON string literal (quotes,
+// backslashes, and control characters). Shared by Table::to_json and the
+// bench Reporter's --json document.
+std::string json_escape(const std::string& s);
+
 class Table {
  public:
   explicit Table(std::vector<std::string> header);
@@ -33,6 +38,11 @@ class Table {
   // Renders RFC-4180-ish CSV.
   void print_csv(std::FILE* out = stdout) const;
   std::string to_csv() const;
+
+  // Renders a JSON array of row objects keyed by the header; cells that
+  // parse entirely as numbers are emitted unquoted. `indent` spaces prefix
+  // each line (so a caller can nest the array in a larger document).
+  std::string to_json(int indent = 0) const;
 
  private:
   std::vector<std::string> header_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 namespace pnbbst {
 namespace {
@@ -33,6 +34,38 @@ TYPED_TEST(AdapterTyped, UniformInterfaceWorks) {
 
 TYPED_TEST(AdapterTyped, NameIsNonEmpty) {
   EXPECT_NE(std::string(SetAdapter<TypeParam>::kName), "");
+}
+
+TYPED_TEST(AdapterTyped, RangeScanReturnsSortedKeys) {
+  TypeParam tree;
+  auto set = adapt(tree);
+  for (long k : {30L, 10L, 50L, 20L, 40L}) set.insert(k);
+  const std::vector<long> scan = set.range_scan(15, 45);
+  EXPECT_EQ(scan, (std::vector<long>{20, 30, 40}));
+  EXPECT_EQ(set.range_scan(60, 99), std::vector<long>{});
+}
+
+TYPED_TEST(AdapterTyped, RangeVisitWhileStopsEmitting) {
+  TypeParam tree;
+  auto set = adapt(tree);
+  for (long k = 0; k < 20; ++k) set.insert(k);
+  std::vector<long> seen;
+  set.range_visit_while(0, 19, [&seen](long k) {
+    seen.push_back(k);
+    return seen.size() < 4;
+  });
+  EXPECT_EQ(seen, (std::vector<long>{0, 1, 2, 3}));
+}
+
+TEST(Adapter, PnbSnapshotThroughAdapter) {
+  PnbBst<long> tree;
+  auto set = adapt(tree);
+  for (long k = 0; k < 10; ++k) set.insert(k);
+  auto snap = set.snapshot();
+  set.insert(100);
+  EXPECT_EQ(snap.size(), 10u);
+  EXPECT_FALSE(snap.contains(100));
+  EXPECT_EQ(set.range_count(0, 200), 11u);
 }
 
 TEST(Adapter, LinearizableScanFlags) {

@@ -1,0 +1,93 @@
+// Compile-time contract suite for core/concepts.h: every container and
+// adapter in the repo is checked against the concept surface it claims, and
+// representative *negative* cases prove the concepts actually discriminate
+// (a concept that accepts everything enforces nothing).
+#include "core/concepts.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "baseline/set_adapter.h"
+#include "core/pnb_map.h"
+#include "shard/sharded_map.h"
+
+namespace pnbbst {
+namespace {
+
+// --- Positive: structures model their claimed surface ----------------------
+
+static_assert(OrderedSet<PnbBst<long>, long>);
+static_assert(OrderedSet<NbBst<long>, long>);
+static_assert(OrderedSet<LockedBst<long>, long>);
+static_assert(OrderedSet<CowBst<long>, long>);
+static_assert(OrderedSet<LfSkipList<long>, long>);
+
+static_assert(Scannable<PnbBst<long>, long>);
+static_assert(PrefixScannable<PnbBst<long>, long>);
+static_assert(Snapshottable<PnbBst<long>>);
+static_assert(PhasedSnapshottable<PnbBst<long>>);
+
+static_assert(OrderedMap<PnbMap<long, long>, long, long>);
+static_assert(OrderedMap<PnbMap<long, std::string>, long, std::string>);
+static_assert(MapScannable<PnbMap<long, long>, long, long>);
+static_assert(PhasedSnapshottable<PnbMap<long, long>>);
+
+static_assert(OrderedMap<ShardedPnbMap<long, long, 4>, long, long>);
+static_assert(OrderedMap<ShardedPnbMap<long, long, 4, RangeSplitter<long>>,
+                         long, long>);
+static_assert(MapScannable<ShardedPnbMap<long, long, 4>, long, long>);
+static_assert(Snapshottable<ShardedPnbMap<long, long, 4>>);
+
+// Every adapter specialization models the full set surface (also asserted
+// in baseline/set_adapter.h; restated here as the test-suite ledger).
+static_assert(OrderedSet<SetAdapter<PnbBst<long>>, long> &&
+              Scannable<SetAdapter<PnbBst<long>>, long> &&
+              PrefixScannable<SetAdapter<PnbBst<long>>, long> &&
+              Snapshottable<SetAdapter<PnbBst<long>>>);
+static_assert(PrefixScannable<SetAdapter<NbBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<LockedBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<CowBst<long>>, long>);
+static_assert(PrefixScannable<SetAdapter<LfSkipList<long>>, long>);
+
+// --- Negative: the concepts reject non-conforming types ---------------------
+
+// std::set is an ordered container but has the wrong signatures (insert
+// returns a pair, erase returns a count).
+static_assert(!OrderedSet<std::set<long>, long>);
+static_assert(!Scannable<std::set<long>, long>);
+static_assert(!Snapshottable<std::set<long>>);
+
+// A set is not a map and a map is not a set (a map's insert takes (k, v)).
+static_assert(!OrderedMap<PnbBst<long>, long, long>);
+static_assert(!OrderedSet<PnbMap<long, long>, long>);
+
+// Sharded snapshots have per-shard phases, not one global phase.
+static_assert(!PhasedSnapshottable<ShardedPnbMap<long, long, 4>>);
+
+// Key-type mismatches are rejected, not silently converted: a string-keyed
+// map does not model the long-keyed concept.
+static_assert(!OrderedMap<PnbMap<std::string, long>, long, long>);
+
+// --- ProbeFor (the heterogeneous-lookup gate, core/keyspace.h) --------------
+
+// With a transparent comparator, string_view probes a string-keyed tree.
+static_assert(ProbeFor<std::string_view, std::string, std::less<>>);
+// With the default (non-transparent) comparator it cannot.
+static_assert(!ProbeFor<std::string_view, std::string, std::less<std::string>>);
+// The map comparator lets bare keys (and ints converting to long) probe
+// entry-keyed trees.
+static_assert(ProbeFor<long, MapEntry<long, std::string>,
+                       MapEntryLess<long, std::string>>);
+static_assert(ProbeFor<int, MapEntry<long, std::string>,
+                       MapEntryLess<long, std::string>>);
+// ExtKey itself is never a probe (it has dedicated overloads).
+static_assert(!ProbeFor<ExtKey<long>, long, std::less<long>>);
+
+// A runtime anchor so the suite registers with CTest.
+TEST(Concepts, CompileTimeContractsHold) { SUCCEED(); }
+
+}  // namespace
+}  // namespace pnbbst

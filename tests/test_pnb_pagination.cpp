@@ -84,6 +84,10 @@ TEST(Pagination, PrefixPropertyUnderInsertOnlyChurn) {
     for (std::size_t i = 0; i < page.size(); ++i) {
       ASSERT_EQ(page[i], static_cast<long>(i));
     }
+    // Every page bumps the phase and aborts straddling inserts (the
+    // handshake); give the writer a scheduling gap so back-to-back scans
+    // cannot starve it indefinitely under sanitizer slowdown.
+    std::this_thread::yield();
   }
   writer.join();
 }

@@ -1,0 +1,241 @@
+// ShardedPnbMap single-threaded behavior: splitter policies, routing,
+// sequential differential against a single PnbMap, merged scans (ordering,
+// exactness, span restriction), and the composite snapshot.
+#include "shard/sharded_map.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pnbbst {
+namespace {
+
+TEST(Splitters, RangeSplitterPartitionsContiguously) {
+  RangeSplitter<long> sp{0, 1000};
+  // Monotone, total, and clamped at the edges.
+  std::size_t prev = 0;
+  for (long k = -10; k < 1010; ++k) {
+    const std::size_t s = sp.shard_of(k, 4);
+    ASSERT_LT(s, 4u);
+    ASSERT_GE(s, prev) << k;
+    prev = s;
+  }
+  EXPECT_EQ(sp.shard_of(-1, 4), 0u);
+  EXPECT_EQ(sp.shard_of(0, 4), 0u);
+  EXPECT_EQ(sp.shard_of(999, 4), 3u);
+  EXPECT_EQ(sp.shard_of(5000, 4), 3u);
+
+  // Span covers exactly the overlapped shards; narrow ranges hit one shard.
+  EXPECT_EQ(sp.shard_span(0, 999, 4), (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(sp.shard_span(10, 20, 4), (std::pair<std::size_t, std::size_t>{0, 1}));
+  // [300, 400] sits inside shard 1 ([250, 500)); [200, 300] straddles 0|1.
+  EXPECT_EQ(sp.shard_span(300, 400, 4),
+            (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(sp.shard_span(200, 300, 4),
+            (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(sp.shard_span(20, 10, 4), (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(Splitters, RangeSplitterSurvivesFullWidthKeyspace) {
+  // A span near 2^64 used to overflow the ceil-division and divide by zero.
+  RangeSplitter<long> sp{std::numeric_limits<long>::min(),
+                         std::numeric_limits<long>::max()};
+  for (long k : {std::numeric_limits<long>::min(), -1L, 0L, 1L,
+                 std::numeric_limits<long>::max() - 1}) {
+    ASSERT_LT(sp.shard_of(k, 8), 8u) << k;
+  }
+  EXPECT_LT(sp.shard_of(std::numeric_limits<long>::min(), 8),
+            sp.shard_of(std::numeric_limits<long>::max() - 1, 8) + 1);
+  ShardedPnbMap<long, long, 8, RangeSplitter<long>> m(sp);
+  EXPECT_TRUE(m.insert(std::numeric_limits<long>::min(), 1));
+  EXPECT_TRUE(m.insert(0, 2));
+  EXPECT_TRUE(m.insert(std::numeric_limits<long>::max() - 1, 3));
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Splitters, HashSplitterIsTotalAndSpreads) {
+  HashSplitter<long> sp;
+  std::vector<int> hits(8, 0);
+  for (long k = 0; k < 8000; ++k) ++hits[sp.shard_of(k, 8)];
+  for (int h : hits) {
+    EXPECT_GT(h, 8000 / 8 / 2) << "shard starved";  // rough balance
+  }
+  // Hash spans are always the full shard interval.
+  EXPECT_EQ(sp.shard_span(1, 2, 8), (std::pair<std::size_t, std::size_t>{0, 8}));
+}
+
+template <class Sharded>
+void differential_vs_single(Sharded& sharded) {
+  PnbMap<long, long> single;
+  Xoshiro256 rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const long k = static_cast<long>(rng.next_bounded(512));
+    switch (rng.next_bounded(5)) {
+      case 0: {
+        const long v = static_cast<long>(rng.next());
+        ASSERT_EQ(sharded.insert(k, v), single.insert(k, v)) << "op " << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(sharded.erase(k), single.erase(k)) << "op " << i;
+        break;
+      case 2:
+        ASSERT_EQ(sharded.contains(k), single.contains(k)) << "op " << i;
+        break;
+      case 3:
+        ASSERT_EQ(sharded.get(k), single.get(k)) << "op " << i;
+        break;
+      default: {
+        const long hi = k + static_cast<long>(rng.next_bounded(64));
+        ASSERT_EQ(sharded.range_scan(k, hi), single.range_scan(k, hi))
+            << "op " << i;
+        ASSERT_EQ(sharded.range_count(k, hi), single.range_count(k, hi))
+            << "op " << i;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(sharded.size(), single.size());
+  ASSERT_EQ(sharded.range_scan(0, 511), single.range_scan(0, 511));
+}
+
+TEST(ShardedMap, SequentialDifferentialRangeSplitter) {
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> m(
+      RangeSplitter<long>{0, 512});
+  differential_vs_single(m);
+}
+
+TEST(ShardedMap, SequentialDifferentialHashSplitter) {
+  ShardedPnbMap<long, long, 4> m;
+  differential_vs_single(m);
+}
+
+TEST(ShardedMap, MergedScanIsSortedAcrossShards) {
+  // Hash splitter scatters adjacent keys across shards, so a sorted merged
+  // scan proves the k-way merge (not shard concatenation) is doing the work.
+  ShardedPnbMap<long, long, 8> m;
+  for (long k = 999; k >= 0; --k) m.insert(k, k * 3);
+  const auto scan = m.range_scan(100, 899);
+  ASSERT_EQ(scan.size(), 800u);
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    ASSERT_EQ(scan[i].first, static_cast<long>(100 + i));
+    ASSERT_EQ(scan[i].second, scan[i].first * 3);
+  }
+}
+
+TEST(ShardedMap, PointOpsAndGetOr) {
+  ShardedPnbMap<long, std::string, 4, RangeSplitter<long>> m(
+      RangeSplitter<long>{0, 400});
+  EXPECT_TRUE(m.insert(10, "a"));
+  EXPECT_FALSE(m.insert(10, "b"));
+  EXPECT_EQ(m.get(10), "a");
+  EXPECT_EQ(m.get_or(11, "none"), "none");
+  EXPECT_TRUE(m.assign(10, "A"));
+  EXPECT_EQ(m.get(10), "A");
+  EXPECT_FALSE(m.assign(399, "edge"));
+  EXPECT_TRUE(m.contains(399));
+  EXPECT_TRUE(m.erase(10));
+  EXPECT_FALSE(m.erase(10));
+}
+
+TEST(ShardedMap, RangeFirstAndVisitWhile) {
+  ShardedPnbMap<long, long, 4> m;
+  for (long k = 0; k < 200; ++k) m.insert(k, k);
+  const auto first = m.range_first(50, 199, 5);
+  ASSERT_EQ(first.size(), 5u);
+  EXPECT_EQ(first[0].first, 50);
+  EXPECT_EQ(first[4].first, 54);
+
+  std::vector<long> seen;
+  m.range_visit_while(0, 199, [&seen](long k, long) {
+    seen.push_back(k);
+    return k < 2;
+  });
+  EXPECT_EQ(seen, (std::vector<long>{0, 1, 2}));
+}
+
+TEST(ShardedMap, RangeVisitWhilePagesWithoutDupOrSkip) {
+  // More keys than the internal page size: the paged merge must emit every
+  // key exactly once across page restarts (the cursor key is inclusive and
+  // deduplicated).
+  ShardedPnbMap<long, long, 4> m;
+  constexpr long kN = 1000;  // > 3 internal pages of 256
+  for (long k = 0; k < kN; ++k) m.insert(k, k);
+  std::vector<long> seen;
+  m.range_visit_while(0, kN - 1, [&seen](long k, long v) {
+    EXPECT_EQ(v, k);
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kN));
+  for (long k = 0; k < kN; ++k) ASSERT_EQ(seen[k], k);
+
+  // Early exit right at a page boundary.
+  seen.clear();
+  m.range_visit_while(0, kN - 1, [&seen](long k, long) {
+    seen.push_back(k);
+    return seen.size() < 256;
+  });
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(seen.back(), 255);
+}
+
+TEST(ShardedMap, CompositeSnapshotIsRepeatableAndIsolated) {
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> m(
+      RangeSplitter<long>{0, 1000});
+  for (long k = 0; k < 1000; k += 2) m.insert(k, k);
+
+  auto snap = m.snapshot();
+  ASSERT_EQ(snap.phases().size(), 4u);
+
+  // Mutate after the snapshot: the snapshot must not move.
+  for (long k = 1; k < 1000; k += 2) m.insert(k, k);
+  m.erase(0);
+
+  EXPECT_EQ(snap.size(), 500u);
+  EXPECT_TRUE(snap.contains(0));
+  EXPECT_FALSE(snap.contains(1));
+  EXPECT_EQ(snap.get(2), 2);
+  EXPECT_EQ(snap.range_count(0, 999), 500u);
+  const auto scan = snap.range_scan(0, 9);
+  ASSERT_EQ(scan.size(), 5u);
+  EXPECT_EQ(scan[4].first, 8);
+  // Repeatable: asking again gives the same answer.
+  EXPECT_EQ(snap.range_scan(0, 9), scan);
+  EXPECT_EQ(snap.range_first(0, 999, 3).size(), 3u);
+
+  // The live map sees everything.
+  EXPECT_EQ(m.size(), 999u);
+}
+
+TEST(ShardedMap, SingleShardDegeneratesToPnbMap) {
+  ShardedPnbMap<long, long, 1> m;
+  for (long k = 0; k < 100; ++k) m.insert(k, k);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.range_count(0, 99), 100u);
+  EXPECT_EQ(m.shard_of(42), 0u);
+}
+
+TEST(ShardedMap, RouteMatchesSplitter) {
+  ShardedPnbMap<long, long, 8, RangeSplitter<long>> m(
+      RangeSplitter<long>{0, 800});
+  for (long k = 0; k < 800; k += 97) {
+    m.insert(k, k);
+    EXPECT_EQ(m.shard_of(k), m.splitter().shard_of(k, 8));
+    // The key really lives in its routed shard and nowhere else.
+    std::size_t holders = 0;
+    for (std::size_t s = 0; s < 8; ++s) {
+      holders += m.shard_ref(s).contains(k) ? 1u : 0u;
+    }
+    EXPECT_EQ(holders, 1u);
+    EXPECT_TRUE(m.shard_ref(m.shard_of(k)).contains(k));
+  }
+}
+
+}  // namespace
+}  // namespace pnbbst

@@ -57,3 +57,40 @@ TEST(Table, PrintAlignedDoesNotCrash) {
 
 }  // namespace
 }  // namespace pnbbst
+
+TEST(TableJson, RowsBecomeObjectsWithTypedCells) {
+  pnbbst::Table t({"name", "count", "rate"});
+  t.add_row({"pnb-bst", "42", "3.14"});
+  t.add_row({"a \"b\"", "-7", "1e-3"});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"name\": \"pnb-bst\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 3.14"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 1e-3"), std::string::npos);
+  EXPECT_NE(json.find("a \\\"b\\\""), std::string::npos);
+}
+
+TEST(TableJson, NonJsonNumbersStayQuoted) {
+  // strtod would accept all of these; JSON does not. They must be emitted
+  // as strings so the --json document stays parseable.
+  pnbbst::Table t({"v"});
+  for (const char* cell :
+       {"nan", "-nan", "inf", "0x10", "007", "5.", ".5", "", "1 << 12"}) {
+    t.add_row({cell});
+  }
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"v\": \"nan\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \"-nan\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \"0x10\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \"007\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \"5.\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \".5\""), std::string::npos);
+  EXPECT_NE(json.find("\"v\": \"1 << 12\""), std::string::npos);
+}
+
+TEST(TableJson, EscapesControlCharacters) {
+  EXPECT_EQ(pnbbst::json_escape("a\nb\t\"c\"\\"), "a\\nb\\t\\\"c\\\"\\\\");
+  EXPECT_EQ(pnbbst::json_escape(std::string(1, '\x01')), "\\u0001");
+}
