@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
-  const auto updaters = sweep_list(cli, "updaters", smoke, {0, 1}, {0, 1, 3, 7});
+  const auto updaters =
+      sweep_list(cli, "updaters", smoke, {0, 1}, {0, 1, 3, 7});
   const long width = cli.get_int("width", smoke ? 128 : 1024);
   Reporter rep(cli, "Fig.E4", "scan latency percentiles vs update pressure");
   for (const auto& unknown : cli.unknown()) {

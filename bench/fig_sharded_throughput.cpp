@@ -6,11 +6,21 @@
 // (one wait-free snapshot per overlapped shard + k-way merge) stay cheap —
 // narrow scans under RangeSplitter touch a single shard. shards=1
 // degenerates to a plain PnbMap and is the baseline column.
+//
+// The wscan/pwscan columns measure one keyspace-wide merged range_count
+// after the mixed run, sequentially (shard snapshots walked one by one) and
+// through the src/scan/ engine (one executor task per shard snapshot
+// feeding the same k-way merge) — the parallel-query path of the sharded
+// front-end. Both report the median rep (robust to scheduler preemption,
+// which the baseline diff would otherwise read as regression).
 #include <cstdio>
 
 #include "bench_common.h"
 #include "benchsupport/reporter.h"
+#include "scan/executor.h"
+#include "scan/parallel_scan.h"
 #include "shard/sharded_map.h"
+#include "util/histogram.h"
 #include "util/table.h"
 
 namespace {
@@ -37,7 +47,8 @@ std::size_t prefill_map(Map& map, std::int64_t key_range, double density,
 
 template <std::size_t NumShards>
 void run_series(Table& table, const BenchConfig& base, const WorkloadMix& mix,
-                const std::vector<std::int64_t>& threads) {
+                const std::vector<std::int64_t>& threads, int wide_reps) {
+  scan::ScanExecutor executor(NumShards);
   for (auto th : threads) {
     BenchConfig cfg = base;
     cfg.threads = static_cast<unsigned>(th);
@@ -75,13 +86,28 @@ void run_series(Table& table, const BenchConfig& base, const WorkloadMix& mix,
             ++c.ops;
           }
         });
+    // Post-run quiescent wide queries: sequential merged vs parallel merged
+    // (one executor task per shard snapshot, same k-way merge).
+    Histogram hseq, hpar;
+    const scan::ParallelScanOptions wopts(static_cast<unsigned>(NumShards),
+                                          executor);
+    for (int i = 0; i < wide_reps; ++i) {
+      auto t0 = now_ns();
+      map.range_count(0, cfg.key_range - 1);
+      hseq.record(now_ns() - t0);
+      t0 = now_ns();
+      map.parallel_range_count(0, cfg.key_range - 1, wopts);
+      hpar.record(now_ns() - t0);
+    }
     table.add_row(
         {Table::num(std::int64_t{NumShards}), Table::num(std::int64_t{th}),
          Table::num(r.mops(), 3), Table::num(r.scans_per_s(), 0),
          Table::num(r.scan_latency_ns.mean() / 1000.0, 1),
          Table::num(static_cast<double>(r.update_successes) /
                         static_cast<double>(r.inserts + r.erases) * 100.0,
-                    1)});
+                    1),
+         Table::num(static_cast<double>(hseq.p50()) / 1000.0, 1),
+         Table::num(static_cast<double>(hpar.p50()) / 1000.0, 1)});
   }
 }
 
@@ -101,10 +127,12 @@ int main(int argc, char** argv) {
   const auto threads = sweep_list(cli, "threads", smoke, {1, 2}, {1, 2, 4, 8});
   // Shard counts are compile-time template arguments; --shards filters the
   // built-in {1, 2, 4, 8, 16} inventory.
-  const auto shards = sweep_list(cli, "shards", smoke, {1, 4}, {1, 2, 4, 8, 16});
+  const auto shards =
+      sweep_list(cli, "shards", smoke, {1, 4}, {1, 2, 4, 8, 16});
   const double scan_frac = cli.get_double("scanfrac", 0.1);
   const auto scan_width =
       static_cast<std::int64_t>(cli.get_int("scanwidth", 100));
+  const int wide_reps = static_cast<int>(cli.get_int("wreps", smoke ? 3 : 15));
   Reporter rep(cli, "Fig.ES",
                "sharded map throughput vs shards and threads (mixed + scans)");
   for (const auto& unknown : cli.unknown()) {
@@ -130,12 +158,12 @@ int main(int argc, char** argv) {
   }
 
   Table table({"shards", "threads", "Mops/s", "scans/s", "scan_mean_us",
-               "succ_%"});
-  if (want(shards, 1)) run_series<1>(table, base, mix, threads);
-  if (want(shards, 2)) run_series<2>(table, base, mix, threads);
-  if (want(shards, 4)) run_series<4>(table, base, mix, threads);
-  if (want(shards, 8)) run_series<8>(table, base, mix, threads);
-  if (want(shards, 16)) run_series<16>(table, base, mix, threads);
+               "succ_%", "wscan_p50_us", "pwscan_p50_us"});
+  if (want(shards, 1)) run_series<1>(table, base, mix, threads, wide_reps);
+  if (want(shards, 2)) run_series<2>(table, base, mix, threads, wide_reps);
+  if (want(shards, 4)) run_series<4>(table, base, mix, threads, wide_reps);
+  if (want(shards, 8)) run_series<8>(table, base, mix, threads, wide_reps);
+  if (want(shards, 16)) run_series<16>(table, base, mix, threads, wide_reps);
   rep.emit(table);
   return 0;
 }

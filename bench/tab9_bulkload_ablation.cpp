@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool smoke = smoke_mode(cli);
   const long n = cli.get_int("n", smoke ? 4000 : 50000);
-  const int probes = static_cast<int>(cli.get_int("probes", smoke ? 4000 : 50000));
+  const int probes =
+      static_cast<int>(cli.get_int("probes", smoke ? 4000 : 50000));
   const int scans = static_cast<int>(cli.get_int("scans", smoke ? 20 : 200));
   Reporter rep(cli, "Tab.E9", "tree shape: bulk-load vs insertion order");
   for (const auto& unknown : cli.unknown()) {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "scan/parallel_scan.h"
 #include "shard/sharded_map.h"
 #include "util/cli.h"
 #include "util/random.h"
@@ -88,6 +89,15 @@ int main(int argc, char** argv) {
   std::printf("3 lowest user ids:");
   for (const auto& [uid, s] : oldest) std::printf(" %ld", uid);
   std::printf("\n");
+
+  // Keyspace-wide audit through the parallel scan engine: the same frozen
+  // composite snapshot, its per-shard scans executed concurrently on the
+  // shared worker pool and fed to the same k-way merge — identical result,
+  // less wall-clock on multi-core machines.
+  const auto all = snap.parallel_range_scan(
+      0, kUserSpace - 1, pnbbst::scan::ParallelScanOptions(8));
+  std::printf("parallel audit: %zu sessions (== %zu from the same snapshot)\n",
+              all.size(), snap.size());
   std::puts("sharded_kv done");
   return 0;
 }

@@ -63,8 +63,10 @@ class LfSkipList {
   ~LfSkipList() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n == tail_ ? nullptr
-                              : strip(n->next[0].load(std::memory_order_relaxed));
+      Node* next =
+          n == tail_
+              ? nullptr
+              : strip(n->next[0].load(std::memory_order_relaxed));
       delete n;
       n = next;
     }

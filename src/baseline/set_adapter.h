@@ -72,6 +72,20 @@ struct SetAdapter<PnbBst<K, C, R, S>> {
     t.range_visit_while(lo, hi, std::forward<Vis>(vis));
   }
   Snapshot snapshot() { return t.snapshot(); }
+  // Parallel chunked snapshot scans (src/scan/); PNB-BST only — the
+  // baselines have no multi-version substrate to scan from concurrently.
+  std::vector<K> parallel_range_scan(const K& lo, const K& hi,
+                                     const scan::ParallelScanOptions& o = {})
+    requires std::integral<K>
+  {
+    return t.parallel_range_scan(lo, hi, o);
+  }
+  std::size_t parallel_range_count(const K& lo, const K& hi,
+                                   const scan::ParallelScanOptions& o = {})
+    requires std::integral<K>
+  {
+    return t.parallel_range_count(lo, hi, o);
+  }
 };
 
 template <class K, class C, class R, class S>
@@ -211,6 +225,12 @@ static_assert(PrefixScannable<SetAdapter<LfSkipList<long>>, long>);
 
 static_assert(Snapshottable<SetAdapter<PnbBst<long>>>);
 static_assert(PhasedSnapshottable<SetAdapter<PnbBst<long>>>);
+
+// Parallel scans: modeled by the PNB-BST adapter alone (the engine chunks
+// one multi-version snapshot; the baselines have nothing equivalent).
+static_assert(ParallelScannable<SetAdapter<PnbBst<long>>, long>);
+static_assert(!ParallelScannable<SetAdapter<LockedBst<long>>, long>);
+static_assert(!ParallelScannable<SetAdapter<LfSkipList<long>>, long>);
 
 // The underlying structures model the concepts directly as well.
 static_assert(OrderedSet<PnbBst<long>, long> && Scannable<PnbBst<long>, long> &&

@@ -49,7 +49,7 @@ struct alignas(8) PnbInfo {
   std::uint8_t num_nodes = 0;     // 2 for Insert, 4 for Delete
   bool is_dummy = false;          // the per-tree Dummy record (line 30)
   bool from_delete = false;       // provenance (debug / stats only)
-  Node* nodes[kMaxNodes] = {};    // nodes to be frozen; [0] flagged, rest marked
+  Node* nodes[kMaxNodes] = {};  // nodes to freeze; [0] flagged, rest marked
   Update old_update[kMaxNodes];   // expected values for the freeze CASes
   Internal* par = nullptr;        // node whose child pointer will change
   Node* old_child = nullptr;

@@ -52,7 +52,8 @@ struct ExtKeyLess {
 
   bool operator()(const ExtKey<Key>& a, const ExtKey<Key>& b) const {
     if (a.cls != b.cls) {
-      return static_cast<std::uint8_t>(a.cls) < static_cast<std::uint8_t>(b.cls);
+      return static_cast<std::uint8_t>(a.cls) <
+             static_cast<std::uint8_t>(b.cls);
     }
     if (a.cls != KeyClass::kFinite) return false;  // same sentinel
     return cmp(a.key, b.key);

@@ -28,8 +28,10 @@
 #pragma once
 
 #include <atomic>
+#include <concepts>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -43,6 +45,8 @@
 #include "reclaim/epoch.h"
 #include "reclaim/leaky.h"
 #include "reclaim/reclaimer.h"
+#include "scan/helper_pool.h"
+#include "scan/parallel_scan.h"
 #include "util/cacheline.h"
 
 namespace pnbbst {
@@ -428,6 +432,59 @@ class PnbBst {
       return n;
     }
 
+    // --- Parallel scans (src/scan/ engine) ---------------------------------
+    //
+    // [lo, hi] is tiled into disjoint key-range chunks, each scanned at this
+    // snapshot's phase by a ScanExecutor task (the caller participates, see
+    // scan/parallel_scan.h). Every chunk traverses the same version tree
+    // T_seq, so the concatenated result is exactly the sequential
+    // range_scan at this phase — same linearizability, more cores. Worker
+    // threads pin the reclaimer for their chunk: the snapshot's own guard
+    // keeps version-seq nodes alive, and the per-task pin covers the
+    // retirements a helping worker may itself trigger. Integral probes
+    // only (chunk boundaries are computed by key arithmetic).
+    template <class B = Key>
+      requires ProbeFor<B, Key, Compare> && std::integral<B>
+    std::vector<Key> parallel_range_scan(
+        const B& lo, const B& hi,
+        const scan::ParallelScanOptions& opts = {}) const {
+      const auto chunks = scan::plan_chunks(opts, lo, hi);
+      std::vector<std::vector<Key>> parts(chunks.size());
+      scan::run_tasks(opts, chunks.size(), [&](std::size_t i) {
+        auto guard = tree_->reclaimer_->pin();
+        auto collect = [&parts, i](const Key& k) { parts[i].push_back(k); };
+        tree_->scan_tree(seq_, &chunks[i].first, &chunks[i].second, collect);
+      });
+      std::size_t total = 0;
+      for (const auto& p : parts) total += p.size();
+      std::vector<Key> out;
+      out.reserve(total);
+      for (auto& p : parts) {
+        out.insert(out.end(), std::make_move_iterator(p.begin()),
+                   std::make_move_iterator(p.end()));
+      }
+      return out;
+    }
+
+    template <class B = Key>
+      requires ProbeFor<B, Key, Compare> && std::integral<B>
+    std::size_t parallel_range_count(
+        const B& lo, const B& hi,
+        const scan::ParallelScanOptions& opts = {}) const {
+      const auto chunks = scan::plan_chunks(opts, lo, hi);
+      std::vector<std::size_t> parts(chunks.size(), 0);
+      scan::run_tasks(opts, chunks.size(), [&](std::size_t i) {
+        auto guard = tree_->reclaimer_->pin();
+        std::size_t n = 0;
+        auto count = [&n](const Key&) { ++n; };
+        tree_->scan_tree(seq_, &chunks[i].first, &chunks[i].second, count);
+        parts[i] = n;
+      });
+      std::size_t total = 0;
+      for (std::size_t c : parts) total += c;
+      return total;
+    }
+
     // Smallest key >= k in this version, or nullopt. Wait-free.
     template <class LK = Key>
       requires ProbeFor<LK, Key, Compare>
@@ -462,6 +519,25 @@ class PnbBst {
     const std::uint64_t seq =
         counter_.fetch_add(1, std::memory_order_seq_cst);
     return Snapshot(this, seq, std::move(guard));
+  }
+
+  // --- Parallel range queries (wait-free per chunk; src/scan/ engine) ------
+
+  // One new phase, scanned by multiple threads in key-range chunks. Result
+  // and linearization are identical to range_scan at the same phase; see
+  // Snapshot::parallel_range_scan for the mechanism.
+  template <class B = Key>
+    requires ProbeFor<B, Key, Compare> && std::integral<B>
+  std::vector<Key> parallel_range_scan(
+      const B& lo, const B& hi, const scan::ParallelScanOptions& opts = {}) {
+    return snapshot().parallel_range_scan(lo, hi, opts);
+  }
+
+  template <class B = Key>
+    requires ProbeFor<B, Key, Compare> && std::integral<B>
+  std::size_t parallel_range_count(
+      const B& lo, const B& hi, const scan::ParallelScanOptions& opts = {}) {
+    return snapshot().parallel_range_count(lo, hi, opts);
   }
 
   // One-shot ordered queries on the live set. Each starts a new phase (like
@@ -581,7 +657,7 @@ class PnbBst {
     return {validated, gpup, pup};
   }
 
-  // --- Update machinery --------------------------------------------------------
+  // --- Update machinery ------------------------------------------------------
 
   // Execute (Fig. 4, lines 92–106).
   ExecResult execute(Node* const* nodes, const Update* old_up, int n,
@@ -690,11 +766,15 @@ class PnbBst {
   template <class BLo, class BHi, class Visitor>
   void scan_tree(std::uint64_t seq, const BLo* lo, const BHi* hi,
                  Visitor& vis) {
-    std::vector<Node*> stack;
-    stack.reserve(64);
-    stack.push_back(root_);
+    // Traversal stack leased from the per-thread HelperPool: steady-state
+    // scans reuse a warm buffer instead of allocating one per scan.
+    auto lease = scan::HelperPool::acquire();
+    std::vector<void*>& stack = lease.stack();
+    // Always store a Node* in the type-erased stack so the pop-side
+    // static_cast<Node*> is an exact void* round trip.
+    stack.push_back(static_cast<Node*>(root_));
     while (!stack.empty()) {
-      Node* node = stack.back();
+      Node* node = static_cast<Node*>(stack.back());
       stack.pop_back();
       if (node->is_leaf()) {
         if (node->key.is_finite() &&
@@ -783,7 +863,7 @@ class PnbBst {
     return cur->key.key;
   }
 
-  // --- Bulk loading -----------------------------------------------------------
+  // --- Bulk loading ----------------------------------------------------------
 
   // Builds a balanced leaf-oriented subtree over leaves[lo, hi); internal
   // keys are the minimum of their right subtree, per the BST property.
@@ -799,7 +879,7 @@ class PnbBst {
     return in;
   }
 
-  // --- Memory management -------------------------------------------------------
+  // --- Memory management -----------------------------------------------------
 
   // One immortal dummy Info per instantiation, shared by every tree and
   // never freed. It must outlive every reclaimer, not just this tree:
@@ -891,7 +971,7 @@ class PnbBst {
     }
   }
 
-  // --- Members -------------------------------------------------------------------
+  // --- Members ---------------------------------------------------------------
 
   [[no_unique_address]] ExtKeyLess<Key, Compare> less_{};
   R* reclaimer_;

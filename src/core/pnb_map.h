@@ -25,6 +25,7 @@
 
 #include "core/concepts.h"
 #include "core/pnb_bst.h"
+#include "scan/parallel_scan.h"
 
 namespace pnbbst {
 
@@ -202,6 +203,24 @@ class PnbMap {
     return tree_.range_count(lo, hi);
   }
 
+  // --- Parallel range queries (src/scan/ engine; integral keys) ------------
+
+  // One new phase, scanned in key-range chunks by multiple threads. Same
+  // pairs, same linearization point as range_scan at that phase.
+  std::vector<std::pair<K, V>> parallel_range_scan(
+      const K& lo, const K& hi, const scan::ParallelScanOptions& opts = {})
+    requires std::integral<K>
+  {
+    return snapshot().parallel_range_scan(lo, hi, opts);
+  }
+
+  std::size_t parallel_range_count(const K& lo, const K& hi,
+                                   const scan::ParallelScanOptions& opts = {})
+    requires std::integral<K>
+  {
+    return tree_.parallel_range_count(lo, hi, opts);
+  }
+
   std::size_t size() { return tree_.size(); }
   bool empty() { return tree_.empty(); }
 
@@ -260,7 +279,8 @@ class PnbMap {
 
     template <class QLo = K, class QHi = K>
       requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
-    std::vector<std::pair<K, V>> range_scan(const QLo& lo, const QHi& hi) const {
+    std::vector<std::pair<K, V>> range_scan(const QLo& lo,
+                                            const QHi& hi) const {
       std::vector<std::pair<K, V>> out;
       visit_range(lo, hi,
                   [&out](const K& k, const V& v) { out.emplace_back(k, v); });
@@ -285,6 +305,31 @@ class PnbMap {
         return out.size() < n;
       });
       return out;
+    }
+
+    // Parallel chunked scans at this snapshot's phase (src/scan/ engine):
+    // exactly range_scan's / range_count's result, produced by multiple
+    // threads. Integral keys only (chunk bounds are key arithmetic).
+    std::vector<std::pair<K, V>> parallel_range_scan(
+        const K& lo, const K& hi,
+        const scan::ParallelScanOptions& opts = {}) const
+      requires std::integral<K>
+    {
+      auto entries = snap_.parallel_range_scan(lo, hi, opts);
+      std::vector<std::pair<K, V>> out;
+      out.reserve(entries.size());
+      for (auto& e : entries) {
+        out.emplace_back(std::move(e.key), std::move(e.value()));
+      }
+      return out;
+    }
+
+    std::size_t parallel_range_count(
+        const K& lo, const K& hi,
+        const scan::ParallelScanOptions& opts = {}) const
+      requires std::integral<K>
+    {
+      return snap_.parallel_range_count(lo, hi, opts);
     }
 
     template <class Q = K>
@@ -325,6 +370,7 @@ class PnbMap {
 // here so any signature drift fails at the definition, not in a user TU.
 static_assert(OrderedMap<PnbMap<long, long>, long, long>);
 static_assert(MapScannable<PnbMap<long, long>, long, long>);
+static_assert(ParallelScannable<PnbMap<long, long>, long>);
 static_assert(PhasedSnapshottable<PnbMap<long, long>>);
 
 }  // namespace pnbbst

@@ -157,7 +157,8 @@ ValidationReport check_version(Tree& tree, std::uint64_t version,
 // Full audit: DAG collection + per-version checks. `version_stride` lets
 // large-phase histories sample versions instead of checking all of them.
 template <class Tree>
-ValidationReport check_invariants(Tree& tree, std::uint64_t version_stride = 1) {
+ValidationReport check_invariants(Tree& tree,
+                                  std::uint64_t version_stride = 1) {
   using Node = typename Tree::Node;
   ValidationReport rep;
 

@@ -1,0 +1,120 @@
+// ScanExecutor — a small, long-lived worker pool for parallel snapshot
+// scans (src/scan/ subsystem overview in docs/DESIGN.md §7).
+//
+// Design constraints, in order:
+//
+//   1. Callers must never deadlock, whatever the pool width. Every parallel
+//      scan in this repo therefore follows the caller-participates pattern
+//      (see parallel_scan.h): the submitting thread claims work items from
+//      the same shared counter the helpers do, so a batch completes even if
+//      the pool is width 0 or fully busy with other batches.
+//   2. Tasks are coarse (one key-range chunk or one shard snapshot scan,
+//      thousands of nodes each), so a mutex+condvar queue is the right
+//      amount of machinery — contention on the queue is negligible next to
+//      the tree traversal the task performs.
+//   3. The pool is shared by default (ScanExecutor::shared(), sized to the
+//      hardware) because scan parallelism should be bounded by the machine,
+//      not multiplied per data structure. Benches and tests can construct
+//      private pools for deterministic widths.
+//
+// Tasks must not throw: an exception escaping a task would terminate the
+// worker thread (std::terminate via the noexcept worker loop contract).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pnbbst::scan {
+
+class ScanExecutor {
+ public:
+  // A width-0 executor runs every submitted task inline on the submitting
+  // thread — handy for deterministic tests of the fan-out plumbing.
+  explicit ScanExecutor(unsigned workers = default_width()) {
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ScanExecutor(const ScanExecutor&) = delete;
+  ScanExecutor& operator=(const ScanExecutor&) = delete;
+
+  // Drains the queue, then joins. Outstanding tasks run to completion —
+  // batches in flight keep their executor alive by construction (the
+  // caller-participates loop cannot return before its batch is finished).
+  ~ScanExecutor() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  unsigned width() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Tasks executed by pool workers (not inline fallbacks); test observability.
+  std::uint64_t tasks_executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  void submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();  // degenerate pool: inline execution keeps the contract total
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  // Process-wide default pool, sized to the hardware. Constructed on first
+  // use; joined at static destruction (after main, when no scans run).
+  static ScanExecutor& shared() {
+    static ScanExecutor instance;
+    return instance;
+  }
+
+  // hardware_concurrency() may report 0 (unknown); clamp into [1, 16] so a
+  // huge machine does not spawn an unbounded default pool.
+  static unsigned default_width() {
+    return std::clamp(std::thread::hardware_concurrency(), 1u, 16u);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to drain
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pnbbst::scan

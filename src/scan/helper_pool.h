@@ -1,0 +1,107 @@
+// HelperPool — per-thread recycling of ScanHelper traversal stacks.
+//
+// Every range query in PnbBst (range_visit / range_count / snapshots / the
+// parallel chunk scans) runs the paper's ScanHelper as an iterative
+// traversal with an explicit node stack. Before this pool, each scan
+// heap-allocated a fresh std::vector for that stack and freed it on return,
+// so scan-heavy workloads (the whole point of the paper) hammered the
+// allocator with a malloc/free pair per scan — measurable churn once scans
+// are issued from many threads at once.
+//
+// The pool keeps a small per-thread free list of type-erased stack buffers
+// (std::vector<void*>; the tree casts its Node* through void*, which is a
+// round-trip static_cast and therefore exact). acquire() pops a warm buffer
+// — with its previous capacity intact, so steady-state scans perform zero
+// allocations — or allocates on a cold start. The Lease returns the buffer
+// on scope exit, including early returns from aborted visitor loops.
+//
+// Thread safety: the free list is thread_local, so there is no
+// synchronization on the scan hot path at all. Buffers never migrate
+// between threads (a Lease is scope-bound and non-movable). Worker threads
+// of a ScanExecutor are long-lived, so their pools stay warm across scan
+// batches; short-lived threads free their list on exit via the Local
+// destructor.
+//
+// Bounds: at most kMaxPooled buffers are retained per thread (nested scans
+// briefly need more than one), and a buffer that grew past
+// kMaxRetainedCapacity entries (a deep, degenerate tree) is freed rather
+// than cached so one pathological scan cannot pin megabytes per thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pnbbst::scan {
+
+class HelperPool {
+ public:
+  static constexpr std::size_t kMaxPooled = 8;
+  static constexpr std::size_t kMaxRetainedCapacity = std::size_t{1} << 16;
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t fresh_allocations = 0;  // acquires that missed the pool
+  };
+
+  class Lease {
+   public:
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() { HelperPool::release(buf_); }
+
+    std::vector<void*>& stack() noexcept { return *buf_; }
+
+   private:
+    friend class HelperPool;
+    explicit Lease(std::vector<void*>* buf) noexcept : buf_(buf) {}
+    std::vector<void*>* buf_;
+  };
+
+  // Returns an empty stack buffer, reusing this thread's warm free list
+  // when possible.
+  static Lease acquire() {
+    Local& tl = local();
+    ++tl.stats.acquires;
+    if (!tl.free.empty()) {
+      std::vector<void*>* buf = tl.free.back();
+      tl.free.pop_back();
+      buf->clear();  // capacity retained — the whole point
+      return Lease(buf);
+    }
+    ++tl.stats.fresh_allocations;
+    return Lease(new std::vector<void*>());
+  }
+
+  // This thread's counters (tests assert steady-state reuse).
+  static Stats thread_stats() { return local().stats; }
+
+ private:
+  struct Local {
+    std::vector<std::vector<void*>*> free;
+    Stats stats;
+    ~Local() {
+      for (std::vector<void*>* buf : free) delete buf;
+    }
+  };
+
+  static Local& local() {
+    thread_local Local tl;
+    return tl;
+  }
+
+  static void release(std::vector<void*>* buf) {
+    if (buf == nullptr) return;
+    Local& tl = local();
+    if (tl.free.size() >= kMaxPooled ||
+        buf->capacity() > kMaxRetainedCapacity) {
+      delete buf;
+      return;
+    }
+    tl.free.push_back(buf);
+  }
+};
+
+}  // namespace pnbbst::scan

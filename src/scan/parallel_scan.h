@@ -1,0 +1,140 @@
+// Parallel scan engine: options, chunk planning, and the fan-out driver.
+//
+// The engine turns one wait-free snapshot scan into many independent tasks
+// executed on a ScanExecutor:
+//
+//   * chunked scans (PnbBst / PnbMap): plan_chunks() tiles the inclusive
+//     probe interval [lo, hi] into disjoint ascending key-range chunks (see
+//     partition.h); every chunk scans the SAME snapshot phase, so the
+//     concatenated result is bit-identical to the sequential scan at that
+//     phase — parallelism does not weaken linearizability (docs/DESIGN.md
+//     §7 has the argument);
+//   * per-shard scans (ShardedPnbMap): run_tasks() executes one task per
+//     shard snapshot, feeding the existing k-way merge. The cross-shard
+//     consistency contract is unchanged because the per-shard snapshots are
+//     still taken sequentially before any task runs.
+//
+// run_tasks() is the single fan-out primitive. The calling thread always
+// participates: it claims task indices from the same atomic counter the
+// pool workers do, so a batch finishes even when the executor is width 0,
+// saturated by other batches, or smaller than the requested thread count —
+// there is no configuration that deadlocks, only ones that serialize.
+//
+// Thread counts: ParallelScanOptions::threads == 0 resolves to the
+// executor's width; an explicit count caps the helpers submitted (threads-1
+// helpers + the caller). Oversplitting (chunks_per_thread > 1) lets early
+// finishers steal remaining chunks, smoothing key-density imbalance.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <concepts>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "scan/executor.h"
+#include "scan/partition.h"
+
+namespace pnbbst::scan {
+
+struct ParallelScanOptions {
+  unsigned threads = 0;              // 0 -> resolve to executor width
+  std::size_t chunks_per_thread = 4; // oversplit factor for load balance
+  ScanExecutor* executor = nullptr;  // null -> ScanExecutor::shared()
+
+  // Implicit by design: the ParallelScannable concept (core/concepts.h)
+  // calls parallel_* with a bare thread count, which converts through here.
+  ParallelScanOptions(unsigned t = 0) noexcept : threads(t) {}
+  ParallelScanOptions(unsigned t, ScanExecutor& ex,
+                      std::size_t oversplit = 4) noexcept
+      : threads(t), chunks_per_thread(oversplit), executor(&ex) {}
+
+  ScanExecutor& resolve_executor() const {
+    return executor != nullptr ? *executor : ScanExecutor::shared();
+  }
+
+  // Total scan threads including the caller; always >= 1. The default uses
+  // the pool width as the machine-level parallelism target (the caller
+  // participates, so one worker simply stays idle for the batch).
+  unsigned resolve_threads() const {
+    if (threads != 0) return threads;
+    const unsigned w = resolve_executor().width();
+    return w == 0 ? 1 : w;
+  }
+};
+
+// Chunk plan for the inclusive probe interval [lo, hi] under `opts`: one
+// chunk when the scan is effectively sequential, threads * chunks_per_thread
+// otherwise. Chunks are disjoint, ascending, and tile [lo, hi] exactly.
+template <std::integral B>
+std::vector<std::pair<B, B>> plan_chunks(const ParallelScanOptions& opts,
+                                         B lo, B hi) {
+  const unsigned threads = opts.resolve_threads();
+  const std::size_t want =
+      threads <= 1 ? 1
+                   : static_cast<std::size_t>(threads) *
+                         (opts.chunks_per_thread == 0 ? 1
+                                                      : opts.chunks_per_thread);
+  return partition_range(lo, hi, want);
+}
+
+// Executes fn(i) exactly once for every i in [0, n), using at most
+// resolve_threads() threads (caller included), and returns when all n calls
+// have completed. fn must not throw. Results written by fn happen-before
+// the return (release increment of the finish counter / acquire read by the
+// waiter).
+template <class Fn>
+void run_tasks(const ParallelScanOptions& opts, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const unsigned threads = static_cast<unsigned>(
+      std::min<std::size_t>(opts.resolve_threads(), n));
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::size_t n = 0;
+    std::function<void(std::size_t)> fn;
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  // The std::function copy may hold references into the caller's frame.
+  // That is safe: all n index claims < n happen before `finished` reaches
+  // n, and the caller does not return before then — a helper that runs
+  // later can only claim an index >= n and exits without touching fn.
+  batch->fn = std::forward<Fn>(fn);
+
+  auto drive = [batch] {
+    for (;;) {
+      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->n) return;
+      batch->fn(i);
+      if (batch->finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          batch->n) {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        batch->cv.notify_all();
+      }
+    }
+  };
+
+  ScanExecutor& ex = opts.resolve_executor();
+  for (unsigned t = 1; t < threads; ++t) ex.submit(drive);
+  drive();  // caller participates: completion never depends on the pool
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->cv.wait(lock, [&batch] {
+    return batch->finished.load(std::memory_order_acquire) == batch->n;
+  });
+}
+
+}  // namespace pnbbst::scan

@@ -1,0 +1,52 @@
+// Key-range partitioning for parallel scans.
+//
+// partition_range(lo, hi, n) splits the inclusive integral interval
+// [lo, hi] into at most n non-empty, disjoint, ascending inclusive chunks
+// whose concatenation is exactly [lo, hi]. Because the chunks tile the key
+// space, per-chunk scan results concatenate into the sequential scan's
+// output with no merge step and no duplicate suppression.
+//
+// All arithmetic runs in std::uint64_t offsets so the full domain of any
+// integral key type works, including [INT64_MIN, INT64_MAX] (whose key
+// count, 2^64, does not fit in a uint64_t — sizes are derived from
+// span = hi - lo instead of span + 1 for exactly this reason). C++20
+// guarantees modular unsigned->signed conversion, so casting offsets back
+// to the key type is well-defined.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pnbbst::scan {
+
+template <std::integral B>
+std::vector<std::pair<B, B>> partition_range(B lo, B hi, std::size_t want) {
+  std::vector<std::pair<B, B>> chunks;
+  if (hi < lo || want == 0) return chunks;
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  const std::uint64_t n = static_cast<std::uint64_t>(want);
+  // Chunk i covers q offsets, plus one more for the first r+1 chunks:
+  // total = n*q + (r+1) = span + 1 keys. Chunks beyond the key count come
+  // out empty (q == 0, i > r) and are skipped, so every emitted chunk is
+  // non-empty.
+  const std::uint64_t q = span / n;
+  const std::uint64_t r = span % n;
+  chunks.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 64)));
+  std::uint64_t off = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t size = q + (i <= r ? 1 : 0);
+    if (size == 0) continue;
+    const B clo = static_cast<B>(static_cast<std::uint64_t>(lo) + off);
+    const B chi =
+        static_cast<B>(static_cast<std::uint64_t>(lo) + off + size - 1);
+    chunks.emplace_back(clo, chi);
+    off += size;
+  }
+  return chunks;
+}
+
+}  // namespace pnbbst::scan

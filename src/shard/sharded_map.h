@@ -55,6 +55,7 @@
 
 #include "core/concepts.h"
 #include "core/pnb_map.h"
+#include "scan/parallel_scan.h"
 #include "util/random.h"
 
 namespace pnbbst {
@@ -193,6 +194,23 @@ class ShardedPnbMap {
     snapshot_span(lo, hi).visit_while(lo, hi, std::forward<Visitor>(vis));
   }
 
+  // --- Parallel merged queries (src/scan/ engine) ---------------------------
+  //
+  // Same consistency contract as the sequential merged queries: the
+  // per-shard snapshots are still taken sequentially in ascending shard
+  // order (the contract's linearization structure is fixed at that point);
+  // only the per-shard snapshot SCANS then run concurrently on the
+  // executor, feeding the same k-way merge.
+  std::vector<std::pair<K, V>> parallel_range_scan(
+      const K& lo, const K& hi, const scan::ParallelScanOptions& opts = {}) {
+    return snapshot_span(lo, hi).parallel_range_scan(lo, hi, opts);
+  }
+
+  std::size_t parallel_range_count(
+      const K& lo, const K& hi, const scan::ParallelScanOptions& opts = {}) {
+    return snapshot_span(lo, hi).parallel_range_count(lo, hi, opts);
+  }
+
   std::size_t size() { return snapshot().size(); }
   bool empty() { return size() == 0; }
 
@@ -239,7 +257,9 @@ class ShardedPnbMap {
       // Each shard contributes at most n pairs to the merged first-n.
       std::vector<std::vector<std::pair<K, V>>> parts;
       parts.reserve(snaps_.size());
-      for (const auto& s : snaps_) parts.push_back(s.snap.range_first(lo, hi, n));
+      for (const auto& s : snaps_) {
+        parts.push_back(s.snap.range_first(lo, hi, n));
+      }
       auto merged = merge_sorted(std::move(parts));
       if (merged.size() > n) merged.resize(n);
       return merged;
@@ -279,6 +299,39 @@ class ShardedPnbMap {
         cursor = page.back().first;
         skip_cursor = true;
       }
+    }
+
+    // Parallel merged scan: one executor task per shard snapshot (the
+    // caller participates), feeding the same k-way merge as range_scan.
+    // Each task pins the shard's reclaimer for the duration of its scan —
+    // the composite snapshot's per-shard guards keep the frozen versions
+    // alive, and the task pin covers retirements a helping worker may
+    // trigger. Results are identical to the sequential merged scan on this
+    // same Snapshot (same frozen phases, same merge).
+    std::vector<std::pair<K, V>> parallel_range_scan(
+        const K& lo, const K& hi,
+        const scan::ParallelScanOptions& opts = {}) const {
+      std::vector<std::vector<std::pair<K, V>>> parts(snaps_.size());
+      scan::run_tasks(opts, snaps_.size(), [&](std::size_t i) {
+        auto guard =
+            owner_->shards_[snaps_[i].shard]->underlying().reclaimer().pin();
+        parts[i] = snaps_[i].snap.range_scan(lo, hi);
+      });
+      return merge_sorted(std::move(parts));
+    }
+
+    std::size_t parallel_range_count(
+        const K& lo, const K& hi,
+        const scan::ParallelScanOptions& opts = {}) const {
+      std::vector<std::size_t> parts(snaps_.size(), 0);
+      scan::run_tasks(opts, snaps_.size(), [&](std::size_t i) {
+        auto guard =
+            owner_->shards_[snaps_[i].shard]->underlying().reclaimer().pin();
+        parts[i] = snaps_[i].snap.range_count(lo, hi);
+      });
+      std::size_t total = 0;
+      for (std::size_t c : parts) total += c;
+      return total;
     }
 
     // Per-shard phases frozen by this snapshot (one entry per shard in the
@@ -376,6 +429,7 @@ class ShardedPnbMap {
 // The sharded front-end models the same concepts as the single-shard map.
 static_assert(OrderedMap<ShardedPnbMap<long, long, 4>, long, long>);
 static_assert(MapScannable<ShardedPnbMap<long, long, 4>, long, long>);
+static_assert(ParallelScannable<ShardedPnbMap<long, long, 4>, long>);
 static_assert(Snapshottable<ShardedPnbMap<long, long, 4>>);
 static_assert(
     OrderedMap<ShardedPnbMap<long, long, 4, RangeSplitter<long>>, long, long>);

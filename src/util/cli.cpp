@@ -39,7 +39,9 @@ std::string Cli::get_string(const std::string& name,
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   queried_[name] = true;
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  return it == values_.end()
+             ? def
+             : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Cli::get_double(const std::string& name, double def) const {
@@ -66,7 +68,8 @@ std::vector<std::int64_t> Cli::get_int_list(
   while (pos < s.size()) {
     auto comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
-    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    out.push_back(
+        std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
     pos = comma + 1;
   }
   return out;

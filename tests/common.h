@@ -21,7 +21,8 @@ std::set<long> run_model_ops(SetLike& set, std::uint64_t seed, int ops,
   Xoshiro256 rng(seed);
   for (int i = 0; i < ops; ++i) {
     const long k =
-        static_cast<long>(rng.next_bounded(static_cast<std::uint64_t>(key_range)));
+        static_cast<long>(
+            rng.next_bounded(static_cast<std::uint64_t>(key_range)));
     switch (rng.next_bounded(3)) {
       case 0: {
         const bool expect = model.insert(k).second;

@@ -57,7 +57,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SkipModelFuzz,
 TEST(LfSkipList, RangeScanBounds) {
   List s;
   for (long k = 0; k < 100; k += 5) s.insert(k);
-  EXPECT_EQ(s.range_scan_unsafe(10, 30), (std::vector<long>{10, 15, 20, 25, 30}));
+  EXPECT_EQ(s.range_scan_unsafe(10, 30),
+            (std::vector<long>{10, 15, 20, 25, 30}));
   EXPECT_EQ(s.range_scan_unsafe(11, 14), (std::vector<long>{}));
   EXPECT_EQ(s.range_scan_unsafe(95, 1000), (std::vector<long>{95}));
 }

@@ -1,0 +1,227 @@
+// Parallel scan engine under real concurrency (stress label; the CI
+// sanitizer jobs run this suite explicitly alongside the unit label):
+//
+//  * 8 threads (4 writers + scanners) on one PnbBst: chunked parallel scans
+//    must stay sorted/unique, always contain an immutable reserved stripe,
+//    and never leak out-of-range keys;
+//  * snapshot repeatability: a snapshot taken mid-churn answers every
+//    parallel and sequential scan identically, forever;
+//  * monotone count bound: under an insert-only writer, parallel
+//    range_count is sandwiched between completed-before-invocation and
+//    started-before-response — the linearizability bound a single-phase
+//    scan must satisfy;
+//  * sharded front-end: merged parallel queries under multi-writer churn
+//    keep the documented per-key-atomic contract on the reserved stripe.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/pnb_bst.h"
+#include "core/pnb_map.h"
+#include "scan/executor.h"
+#include "scan/parallel_scan.h"
+#include "shard/sharded_map.h"
+#include "util/random.h"
+
+namespace pnbbst {
+namespace {
+
+using scan::ParallelScanOptions;
+using scan::ScanExecutor;
+
+constexpr long kKeyRange = 1L << 14;
+constexpr int kWriterOps = 30000;
+
+// Keys == 0 (mod 4) are prefilled and never written: every scan, at every
+// phase, must observe the full stripe. Writers churn the other residues.
+bool in_stripe(long k) { return k % 4 == 0; }
+
+template <class Tree>
+void prefill_stripe(Tree& tree) {
+  for (long k = 0; k < kKeyRange; k += 4) ASSERT_TRUE(tree.insert(k));
+}
+
+void churn_writer(PnbBst<long>& tree, unsigned ti) {
+  Xoshiro256 rng(thread_seed(101, ti));
+  for (int i = 0; i < kWriterOps; ++i) {
+    long k = static_cast<long>(rng.next_bounded(kKeyRange));
+    if (in_stripe(k)) ++k;  // never touch the reserved stripe
+    if (rng.next_bounded(2) == 0) {
+      tree.insert(k);
+    } else {
+      tree.erase(k);
+    }
+  }
+}
+
+TEST(ParallelScanConcurrent, ChunkedScansStayConsistentUnderChurn) {
+  PnbBst<long> tree;
+  prefill_stripe(tree);
+  ScanExecutor ex(4);
+  std::atomic<unsigned> writers_done{0};
+  constexpr unsigned kWriters = 4;
+
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < kWriters; ++ti) {
+    pool.emplace_back([&tree, &writers_done, ti] {
+      churn_writer(tree, ti);
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  for (unsigned si = 0; si < 3; ++si) {
+    pool.emplace_back([&tree, &ex, &writers_done, si] {
+      Xoshiro256 rng(thread_seed(707, si));
+      int iters = 0;
+      while (writers_done.load(std::memory_order_acquire) < kWriters ||
+             iters < 10) {
+        ++iters;
+        const long lo =
+            static_cast<long>(rng.next_bounded(kKeyRange / 2));
+        const long hi = lo + static_cast<long>(
+                                 rng.next_bounded(kKeyRange - lo));
+        const auto keys = tree.parallel_range_scan(
+            lo, hi, ParallelScanOptions(4u, ex));
+        long expected_stripe = 0;
+        long prev = lo - 1;
+        for (long k : keys) {
+          ASSERT_GT(k, prev) << "not sorted/unique";
+          ASSERT_GE(k, lo);
+          ASSERT_LE(k, hi);
+          prev = k;
+          if (in_stripe(k)) ++expected_stripe;
+        }
+        // ceil counting of stripe keys in [lo, hi]
+        const long first = ((lo + 3) / 4) * 4;
+        const long stripe_in_range =
+            first > hi ? 0 : (hi - first) / 4 + 1;
+        ASSERT_EQ(expected_stripe, stripe_in_range)
+            << "stripe keys lost in [" << lo << "," << hi << "]";
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+TEST(ParallelScanConcurrent, SnapshotAnswersAreImmutableUnderChurn) {
+  PnbBst<long> tree;
+  prefill_stripe(tree);
+  ScanExecutor ex(4);
+  std::atomic<bool> stop{false};
+  std::thread writer([&tree, &stop] {
+    Xoshiro256 rng(thread_seed(33, 0));
+    while (!stop.load(std::memory_order_acquire)) {
+      long k = static_cast<long>(rng.next_bounded(kKeyRange)) | 1;
+      tree.insert(k);
+      tree.erase(k);
+    }
+  });
+
+  for (int round = 0; round < 20; ++round) {
+    auto snap = tree.snapshot();
+    const auto reference = snap.range_scan(0L, kKeyRange - 1);
+    for (unsigned threads : {2u, 8u}) {
+      ASSERT_EQ(snap.parallel_range_scan(0L, kKeyRange - 1,
+                                         ParallelScanOptions(threads, ex)),
+                reference)
+          << "round " << round << " threads " << threads;
+    }
+    ASSERT_EQ(snap.parallel_range_count(0L, kKeyRange - 1,
+                                        ParallelScanOptions(8u, ex)),
+              reference.size());
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+TEST(ParallelScanConcurrent, MonotoneInsertCountBound) {
+  PnbBst<long> tree;
+  ScanExecutor ex(4);
+  constexpr long kInserts = 20000;
+  std::atomic<long> published{0};  // inserts completed so far
+  std::thread writer([&tree, &published] {
+    for (long k = 0; k < kInserts; ++k) {
+      ASSERT_TRUE(tree.insert(k));
+      published.store(k + 1, std::memory_order_release);
+    }
+  });
+
+  std::size_t prev_count = 0;
+  while (published.load(std::memory_order_acquire) < kInserts) {
+    const long before = published.load(std::memory_order_acquire);
+    const std::size_t c = tree.parallel_range_count(
+        0L, kInserts - 1, ParallelScanOptions(4u, ex));
+    const long after = published.load(std::memory_order_acquire);
+    // Completed-before-invocation <= c <= started-before-response (the one
+    // writer has at most one insert in flight past `after`).
+    ASSERT_GE(c, static_cast<std::size_t>(before));
+    ASSERT_LE(c, static_cast<std::size_t>(after) + 1);
+    ASSERT_GE(c, prev_count) << "scan count went backwards";
+    prev_count = c;
+  }
+  writer.join();
+  EXPECT_EQ(tree.parallel_range_count(0L, kInserts - 1,
+                                      ParallelScanOptions(8u, ex)),
+            static_cast<std::size_t>(kInserts));
+}
+
+TEST(ParallelScanConcurrent, ShardedMergedParallelQueriesUnderChurn) {
+  ShardedPnbMap<long, long, 8> map;  // hash split: scans span all shards
+  for (long k = 0; k < kKeyRange; k += 4) ASSERT_TRUE(map.insert(k, k));
+  ScanExecutor ex(4);
+  std::atomic<unsigned> writers_done{0};
+  constexpr unsigned kWriters = 4;
+
+  std::vector<std::thread> pool;
+  for (unsigned ti = 0; ti < kWriters; ++ti) {
+    pool.emplace_back([&map, &writers_done, ti] {
+      Xoshiro256 rng(thread_seed(55, ti));
+      for (int i = 0; i < kWriterOps; ++i) {
+        long k = static_cast<long>(rng.next_bounded(kKeyRange));
+        if (in_stripe(k)) ++k;
+        if (rng.next_bounded(2) == 0) {
+          map.insert(k, -k);
+        } else {
+          map.erase(k);
+        }
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  for (unsigned si = 0; si < 3; ++si) {
+    pool.emplace_back([&map, &ex, &writers_done] {
+      int iters = 0;
+      while (writers_done.load(std::memory_order_acquire) < kWriters ||
+             iters < 5) {
+        ++iters;
+        const auto pairs = map.parallel_range_scan(
+            0L, kKeyRange - 1, ParallelScanOptions(8u, ex));
+        long prev = -1;
+        long stripe_seen = 0;
+        for (const auto& [k, v] : pairs) {
+          ASSERT_GT(k, prev) << "merge not sorted/unique";
+          prev = k;
+          if (in_stripe(k)) {
+            ASSERT_EQ(v, k) << "stripe value corrupted";
+            ++stripe_seen;
+          }
+        }
+        ASSERT_EQ(stripe_seen, kKeyRange / 4) << "stripe keys lost";
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  // Quiescent: a frozen composite snapshot answers parallel == sequential.
+  auto snap = map.snapshot();
+  EXPECT_EQ(snap.parallel_range_scan(0L, kKeyRange - 1,
+                                     ParallelScanOptions(8u, ex)),
+            snap.range_scan(0L, kKeyRange - 1));
+  EXPECT_EQ(snap.parallel_range_count(0L, kKeyRange - 1,
+                                      ParallelScanOptions(8u, ex)),
+            snap.range_count(0L, kKeyRange - 1));
+}
+
+}  // namespace
+}  // namespace pnbbst

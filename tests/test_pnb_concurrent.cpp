@@ -38,8 +38,9 @@ TEST_P(PnbConcurrentStress, PartitionedKeysMatchPrivateModels) {
         const long base = static_cast<long>(ti) * p.key_range;
         for (int i = 0; i < p.ops_per_thread && !failed; ++i) {
           const long k =
-              base + static_cast<long>(
-                         rng.next_bounded(static_cast<std::uint64_t>(p.key_range)));
+              base +
+              static_cast<long>(rng.next_bounded(
+                  static_cast<std::uint64_t>(p.key_range)));
           switch (rng.next_bounded(3)) {
             case 0:
               if (t.insert(k) != model.insert(k).second) failed = true;

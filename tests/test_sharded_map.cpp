@@ -31,14 +31,17 @@ TEST(Splitters, RangeSplitterPartitionsContiguously) {
   EXPECT_EQ(sp.shard_of(5000, 4), 3u);
 
   // Span covers exactly the overlapped shards; narrow ranges hit one shard.
-  EXPECT_EQ(sp.shard_span(0, 999, 4), (std::pair<std::size_t, std::size_t>{0, 4}));
-  EXPECT_EQ(sp.shard_span(10, 20, 4), (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(sp.shard_span(0, 999, 4),
+            (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(sp.shard_span(10, 20, 4),
+            (std::pair<std::size_t, std::size_t>{0, 1}));
   // [300, 400] sits inside shard 1 ([250, 500)); [200, 300] straddles 0|1.
   EXPECT_EQ(sp.shard_span(300, 400, 4),
             (std::pair<std::size_t, std::size_t>{1, 2}));
   EXPECT_EQ(sp.shard_span(200, 300, 4),
             (std::pair<std::size_t, std::size_t>{0, 2}));
-  EXPECT_EQ(sp.shard_span(20, 10, 4), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(sp.shard_span(20, 10, 4),
+            (std::pair<std::size_t, std::size_t>{0, 0}));
 }
 
 TEST(Splitters, RangeSplitterSurvivesFullWidthKeyspace) {
@@ -66,7 +69,8 @@ TEST(Splitters, HashSplitterIsTotalAndSpreads) {
     EXPECT_GT(h, 8000 / 8 / 2) << "shard starved";  // rough balance
   }
   // Hash spans are always the full shard interval.
-  EXPECT_EQ(sp.shard_span(1, 2, 8), (std::pair<std::size_t, std::size_t>{0, 8}));
+  EXPECT_EQ(sp.shard_span(1, 2, 8),
+            (std::pair<std::size_t, std::size_t>{0, 8}));
 }
 
 template <class Sharded>

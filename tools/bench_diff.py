@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench `--json` run against a committed baseline.
+
+Every bench binary emits, with --json, a document of the form
+
+    {"experiment": "Fig.E7", "title": ..., "params": ..., "rows": [...]}
+
+and the committed reference runs live in bench/baselines/BENCH_*.json.
+This script checks that a fresh run still has the baseline's shape and
+that its measurements are within a relative tolerance:
+
+  * experiment ids must match;
+  * row count must match, and rows are compared positionally (sweeps are
+    deterministic: same flags => same row order);
+  * configuration columns (sweep parameters: sizes, widths, thread/shard
+    counts, ...) must match exactly;
+  * measured numeric columns must satisfy |a-b| <= tol * max(|a|,|b|),
+    with an absolute epsilon (--abs-eps) so near-zero cells such as a
+    helps/commit ratio of 0.0001 vs 0.0 do not read as 100% drift;
+  * columns matching --ignore (default: tail-latency p99*/max* columns,
+    far too noisy for a threshold) are skipped.
+
+Exit status 0 when everything passes, 1 on any mismatch, 2 on usage
+errors. Typical use, from the build directory:
+
+    ./fig7_scan_scaling --json | ../tools/bench_diff.py - ../bench/baselines/
+    ./fig1_update_throughput --json > fresh.json
+    ../tools/bench_diff.py fresh.json ../bench/baselines/BENCH_fig1.json
+
+When the baseline argument is a directory, the file whose "experiment"
+matches the fresh run is selected automatically.
+
+Tolerance guidance: the default (0.5, i.e. +-50% relative) is deliberately
+loose — it catches order-of-magnitude regressions and shape drift on the
+machine that produced the baseline, not single-digit perf changes. Tighten
+with --tol for controlled A/B runs on quiet hardware; loosen (~0.8) for
+benches whose rows time short multi-threaded windows on oversubscribed
+cores, where scheduling luck alone moves rows by 2x (see
+docs/BENCHMARKS.md).
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# Column names that are sweep configuration, not measurement: exact match
+# required. Everything numeric that does not match is treated as measured.
+CONFIG_COL_RE = re.compile(
+    r"(size|width|threads|shards|keyrange|reps|rounds|mode|structure)",
+    re.IGNORECASE,
+)
+
+
+def load_doc(source):
+    if source == "-":
+        text = sys.stdin.read()
+        name = "<stdin>"
+    else:
+        path = pathlib.Path(source)
+        text = path.read_text()
+        name = str(path)
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: {name} is not valid JSON: {e}")
+    for field in ("experiment", "rows"):
+        if field not in doc:
+            raise SystemExit(f"error: {name} has no '{field}' field")
+    return doc, name
+
+
+def pick_baseline(baseline_arg, experiment):
+    path = pathlib.Path(baseline_arg)
+    if path.is_dir():
+        for candidate in sorted(path.glob("*.json")):
+            try:
+                doc = json.loads(candidate.read_text())
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict) and doc.get("experiment") == experiment:
+                # Same validation as the file-path branch, now that this
+                # candidate is the selected baseline.
+                return load_doc(str(candidate))
+        raise SystemExit(
+            f"error: no baseline in {path} has experiment id {experiment!r}"
+        )
+    doc, name = load_doc(str(path))
+    return doc, name
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def rel_diff(a, b, abs_eps):
+    if abs(a - b) <= abs_eps:
+        return 0.0
+    denom = max(abs(a), abs(b))
+    if denom == 0:
+        return 0.0
+    return abs(a - b) / denom
+
+
+def compare(fresh, baseline, tol, ignore_re, abs_eps):
+    failures = []
+    if fresh["experiment"] != baseline["experiment"]:
+        failures.append(
+            f"experiment id: fresh {fresh['experiment']!r} != "
+            f"baseline {baseline['experiment']!r}"
+        )
+        return failures
+    frows, brows = fresh["rows"], baseline["rows"]
+    if len(frows) != len(brows):
+        failures.append(
+            f"row count: fresh {len(frows)} != baseline {len(brows)}"
+        )
+        return failures
+    checked = 0
+    for i, (frow, brow) in enumerate(zip(frows, brows)):
+        if set(frow) != set(brow):
+            failures.append(
+                f"row {i}: column sets differ "
+                f"(fresh {sorted(frow)}, baseline {sorted(brow)})"
+            )
+            continue
+        for col, bval in brow.items():
+            fval = frow[col]
+            if ignore_re.search(col):
+                continue
+            checked += 1
+            if CONFIG_COL_RE.search(col) or not is_number(bval):
+                if fval != bval:
+                    failures.append(
+                        f"row {i} {col}: config/text mismatch "
+                        f"(fresh {fval!r}, baseline {bval!r})"
+                    )
+                continue
+            if not is_number(fval):
+                failures.append(
+                    f"row {i} {col}: fresh value {fval!r} is not numeric"
+                )
+                continue
+            d = rel_diff(float(fval), float(bval), abs_eps)
+            if d > tol:
+                failures.append(
+                    f"row {i} {col}: {fval} vs baseline {bval} "
+                    f"({d * 100.0:.0f}% > {tol * 100.0:.0f}%)"
+                )
+    if checked == 0:
+        failures.append("no cells were compared (over-broad --ignore?)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "fresh", help="fresh --json output file, or - for stdin"
+    )
+    parser.add_argument(
+        "baseline",
+        help="baseline JSON file, or a directory to search by experiment id",
+    )
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=0.5,
+        help="relative tolerance for measured columns (default 0.5)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=r"p99|max",
+        help="regex of column names to skip entirely (default: p99|max)",
+    )
+    parser.add_argument(
+        "--abs-eps",
+        type=float,
+        default=1e-3,
+        help="absolute difference treated as equal, shielding near-zero "
+        "cells from relative comparison (default 1e-3)",
+    )
+    args = parser.parse_args()
+    if args.tol < 0:
+        parser.error("--tol must be >= 0")
+    try:
+        ignore_re = re.compile(args.ignore)
+    except re.error as e:
+        parser.error(f"--ignore is not a valid regex: {e}")
+
+    fresh, fresh_name = load_doc(args.fresh)
+    baseline, baseline_name = pick_baseline(args.baseline, fresh["experiment"])
+    failures = compare(fresh, baseline, args.tol, ignore_re, args.abs_eps)
+
+    label = f"{fresh['experiment']}: {fresh_name} vs {baseline_name}"
+    if failures:
+        print(f"FAIL {label}")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"OK   {label} "
+        f"({len(fresh['rows'])} rows within {args.tol * 100.0:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Mechanical format gate for CI (the `format` job) and local use.
+
+Enforces the style rules that need no compiler and no clang-format binary
+(the canonical full config is .clang-format; this checker is the hard gate
+because the dev container does not ship clang-format):
+
+  * no tab characters in C++/Python sources;
+  * no trailing whitespace;
+  * LF line endings only;
+  * every file ends with exactly one newline;
+  * lines are at most 80 characters (counted in code points, so the paper's
+    math glyphs in comments do not trip the limit).
+
+Scope: tracked and untracked-unignored *.h, *.cpp, *.py files. Exit 0
+when clean; 1 with one line of diagnostics per violation otherwise.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+MAX_COLS = 80
+
+
+def tracked_sources():
+    # --others --exclude-standard folds in files not yet git-added, so a
+    # pre-commit run covers exactly what the commit would introduce.
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.h", "*.cpp", "*.py"],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=pathlib.Path(__file__).resolve().parent.parent,
+    )
+    root = pathlib.Path(__file__).resolve().parent.parent
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def check_file(path):
+    problems = []
+    raw = path.read_bytes()
+    if not raw:
+        return problems
+    if b"\r" in raw:
+        problems.append(f"{path}: CRLF/CR line endings")
+    if not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing final newline")
+    elif raw.endswith(b"\n\n"):
+        problems.append(f"{path}: trailing blank line(s) at EOF")
+    text = raw.decode("utf-8")
+    for i, line in enumerate(text.split("\n"), start=1):
+        if "\t" in line:
+            problems.append(f"{path}:{i}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{i}: trailing whitespace")
+        if len(line) > MAX_COLS:
+            problems.append(f"{path}:{i}: {len(line)} > {MAX_COLS} columns")
+    return problems
+
+
+def main():
+    problems = []
+    for path in tracked_sources():
+        try:
+            problems.extend(check_file(path))
+        except UnicodeDecodeError:
+            problems.append(f"{path}: not valid UTF-8")
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"format check FAILED: {len(problems)} problem(s)")
+        return 1
+    print("format check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

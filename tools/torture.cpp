@@ -87,7 +87,9 @@ int run_round(const TortureConfig& cfg, int round) {
           long lo = k, hi = k + 64 < cfg.key_range ? k + 64 : cfg.key_range;
           const std::size_t n = local.range_count(lo, hi);
           if (n > static_cast<std::size_t>(hi - lo + 1)) {
-            std::fprintf(stderr, "FAIL: scan returned %zu keys from a %ld-wide range\n",
+            std::fprintf(stderr,
+                         "FAIL: scan returned %zu keys from a %ld-wide "
+                         "range\n",
                          n, hi - lo + 1);
             failures.fetch_add(1);
           }
