@@ -26,13 +26,20 @@ template <std::integral B>
 std::vector<std::pair<B, B>> partition_range(B lo, B hi, std::size_t want) {
   std::vector<std::pair<B, B>> chunks;
   if (hi < lo || want == 0) return chunks;
+  if (want == 1) {
+    // Handled up front because the general path below would compute
+    // size = q + 1 with q == span, which wraps to 0 when span == UINT64_MAX
+    // (the full 64-bit domain) and would drop the chunk entirely.
+    chunks.emplace_back(lo, hi);
+    return chunks;
+  }
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
   const std::uint64_t n = static_cast<std::uint64_t>(want);
   // Chunk i covers q offsets, plus one more for the first r+1 chunks:
   // total = n*q + (r+1) = span + 1 keys. Chunks beyond the key count come
   // out empty (q == 0, i > r) and are skipped, so every emitted chunk is
-  // non-empty.
+  // non-empty. n >= 2 here, so q <= UINT64_MAX / 2 and q + 1 cannot wrap.
   const std::uint64_t q = span / n;
   const std::uint64_t r = span % n;
   chunks.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 64)));

@@ -99,6 +99,13 @@ TEST(Partition, FullInt64DomainDoesNotOverflow) {
   check_tiling<std::int64_t>(kMin, kMin + 3, 8);
   check_tiling<std::int64_t>(kMax - 3, kMax, 2);
   check_tiling<std::uint64_t>(0, std::numeric_limits<std::uint64_t>::max(), 7);
+  // want == 1 over the full domain: span == UINT64_MAX, the one case where
+  // the per-chunk size q + 1 could wrap to 0 and drop the only chunk.
+  check_tiling<std::int64_t>(kMin, kMax, 1);
+  check_tiling<std::uint64_t>(0, std::numeric_limits<std::uint64_t>::max(), 1);
+  const auto one = partition_range<std::int64_t>(kMin, kMax, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (std::pair<std::int64_t, std::int64_t>{kMin, kMax}));
 }
 
 // --- ScanExecutor / run_tasks ------------------------------------------------
@@ -204,6 +211,24 @@ TEST_F(ParallelScanDifferential, SnapshotChunkedScanMatchesSequential) {
     EXPECT_EQ(snap.parallel_range_scan(lo, hi,
                                        ParallelScanOptions(4u, ex, 64)),
               seq);
+  }
+}
+
+TEST_F(ParallelScanDifferential, FullInt64DomainSingleThreadMatchesSequential) {
+  // Regression: plan_chunks requests a single chunk whenever threads
+  // resolve to 1; over the full int64 domain that chunk must still cover
+  // [kMin, kMax] instead of vanishing to an empty plan.
+  constexpr long kMin = std::numeric_limits<long>::min();
+  constexpr long kMax = std::numeric_limits<long>::max();
+  ScanExecutor ex(4);
+  auto snap = tree_.snapshot();
+  const auto seq = snap.range_scan(kMin, kMax);
+  ASSERT_EQ(seq.size(), snap.range_count(kMin, kMax));
+  for (unsigned threads : {1u, 8u}) {
+    ParallelScanOptions opts(threads, ex);
+    EXPECT_EQ(snap.parallel_range_scan(kMin, kMax, opts), seq) << threads;
+    EXPECT_EQ(snap.parallel_range_count(kMin, kMax, opts), seq.size())
+        << threads;
   }
 }
 
