@@ -53,6 +53,8 @@ struct SetAdapter<PnbBst<K, C, R, S>> {
   using Tree = PnbBst<K, C, R, S>;
   using key_type = K;
   using Snapshot = typename Tree::Snapshot;
+  using bulk_item = typename Tree::bulk_item;
+  using batch_op = typename Tree::batch_op;
   static constexpr const char* kName = "pnb-bst";
   static constexpr bool kLinearizableScan = true;
   static constexpr bool kHasSnapshot = true;
@@ -85,6 +87,16 @@ struct SetAdapter<PnbBst<K, C, R, S>> {
     requires std::integral<K>
   {
     return t.parallel_range_count(lo, hi, o);
+  }
+  // Batch ingest (src/ingest/); PNB-BST only — the baselines have no bulk
+  // constructor and no executor-driven batch path.
+  std::size_t bulk_load(std::vector<K> keys,
+                        const ingest::IngestOptions& o = {}) {
+    return t.bulk_load(std::move(keys), o);
+  }
+  ingest::BatchResult apply_batch(std::vector<batch_op> ops,
+                                  const ingest::IngestOptions& o = {}) {
+    return t.apply_batch(std::move(ops), o);
   }
 };
 
@@ -232,9 +244,17 @@ static_assert(ParallelScannable<SetAdapter<PnbBst<long>>, long>);
 static_assert(!ParallelScannable<SetAdapter<LockedBst<long>>, long>);
 static_assert(!ParallelScannable<SetAdapter<LfSkipList<long>>, long>);
 
+// Batch ingest (src/ingest/): PNB-BST adapter alone, for the same reason.
+static_assert(BatchIngestible<SetAdapter<PnbBst<long>>>);
+static_assert(!BatchIngestible<SetAdapter<NbBst<long>>>);
+static_assert(!BatchIngestible<SetAdapter<LockedBst<long>>>);
+static_assert(!BatchIngestible<SetAdapter<CowBst<long>>>);
+static_assert(!BatchIngestible<SetAdapter<LfSkipList<long>>>);
+
 // The underlying structures model the concepts directly as well.
 static_assert(OrderedSet<PnbBst<long>, long> && Scannable<PnbBst<long>, long> &&
               PrefixScannable<PnbBst<long>, long> &&
-              PhasedSnapshottable<PnbBst<long>>);
+              PhasedSnapshottable<PnbBst<long>> &&
+              BatchIngestible<PnbBst<long>>);
 
 }  // namespace pnbbst

@@ -10,6 +10,9 @@
 //   Scannable<S, K>         linear range queries: range_count / range_scan
 //   PrefixScannable<S, K>   early-terminating scans: range_visit_while
 //   ParallelScannable<S, K> multi-threaded snapshot scans (src/scan/)
+//   BatchIngestible<S>      batch ingest (src/ingest/): bulk_load on a
+//                           fresh/private structure, apply_batch on a live
+//                           one
 //   OrderedMap<M, K, V>     key/value point ops incl. get / get_or / assign
 //   MapScannable<M, K, V>   key/value range queries: visit_range & friends
 //   Snapshottable<S>        snapshot() handle with size() (+ phase() where
@@ -74,6 +77,29 @@ concept ParallelScannable =
       { s.parallel_range_count(lo, hi, n) } -> std::same_as<std::size_t>;
       { s.parallel_range_scan(lo, hi, n) }
           -> std::same_as<decltype(s.range_scan(lo, hi))>;
+    };
+
+// Batch ingest surface (the src/ingest/ engine). `bulk_item` is what
+// bulk_load consumes (K for sets, std::pair<K, V> for maps); `batch_op` is
+// an ingest::BatchOp over the same shape. bulk_load builds a balanced tree
+// in parallel and REQUIRES a fresh, still-private structure (single-writer
+// precondition, documented in ingest/bulk_build.h); apply_batch is safe
+// against live structures — each op takes the ordinary lock-free path. The
+// result shape is checked structurally (counters convertible to size_t) so
+// this header stays free of ingest/ includes.
+template <class S>
+concept BatchIngestible =
+    requires(S s, std::vector<typename S::bulk_item> items,
+             std::vector<typename S::batch_op> ops) {
+      typename S::bulk_item;
+      typename S::batch_op;
+      { s.bulk_load(std::move(items)) } -> std::same_as<std::size_t>;
+      { s.apply_batch(std::move(ops)).applied }
+          -> std::convertible_to<std::size_t>;
+      { s.apply_batch(std::move(ops)).inserted }
+          -> std::convertible_to<std::size_t>;
+      { s.apply_batch(std::move(ops)).erased }
+          -> std::convertible_to<std::size_t>;
     };
 
 // Point-operation surface of an ordered map from K to V.

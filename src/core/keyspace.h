@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <type_traits>
+#include <utility>
 
 namespace pnbbst {
 
@@ -25,6 +26,9 @@ struct ExtKey {
   KeyClass cls = KeyClass::kFinite;
 
   static ExtKey finite(const Key& k) { return ExtKey{k, KeyClass::kFinite}; }
+  static ExtKey finite(Key&& k) {
+    return ExtKey{std::move(k), KeyClass::kFinite};
+  }
   static ExtKey inf1() { return ExtKey{Key{}, KeyClass::kInf1}; }
   static ExtKey inf2() { return ExtKey{Key{}, KeyClass::kInf2}; }
 

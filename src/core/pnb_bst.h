@@ -30,6 +30,8 @@
 #include <atomic>
 #include <concepts>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <iterator>
 #include <optional>
@@ -42,6 +44,8 @@
 #include "core/node.h"
 #include "core/op_stats.h"
 #include "core/tagged_update.h"
+#include "ingest/batch_apply.h"
+#include "ingest/bulk_build.h"
 #include "reclaim/epoch.h"
 #include "reclaim/leaky.h"
 #include "reclaim/reclaimer.h"
@@ -62,6 +66,9 @@ class PnbBst {
   using Info = PnbInfo<Key>;
   using Update = TaggedUpdate<Info>;
   using EK = ExtKey<Key>;
+  // Batch ingest shapes (src/ingest/, BatchIngestible in core/concepts.h).
+  using bulk_item = Key;
+  using batch_op = ingest::BatchOp<Key>;
 
   explicit PnbBst(R& reclaimer = R::shared()) : reclaimer_(&reclaimer) {
     dummy_ = shared_dummy();
@@ -78,18 +85,14 @@ class PnbBst {
                        std::memory_order_relaxed);
   }
 
-  // Bulk-load constructor: builds a perfectly balanced tree from a sorted,
-  // duplicate-free range (per Compare). Runs before any concurrency; all
-  // nodes belong to phase 0.
+  // Bulk-load constructor: builds a perfectly balanced tree from a range
+  // of keys (sorted or not — bulk_load sorts and de-duplicates). Runs
+  // before any concurrency; all nodes belong to phase 0. Sequential by
+  // construction (constructors have no executor to fan out on); use
+  // bulk_load directly for the parallel build.
   template <class It>
   PnbBst(It first, It last, R& reclaimer = R::shared()) : PnbBst(reclaimer) {
-    std::vector<EK> leaves;
-    for (It it = first; it != last; ++it) leaves.push_back(EK::finite(*it));
-    leaves.push_back(EK::inf1());
-    Node* old_left = root_->left.load(std::memory_order_relaxed);
-    root_->left.store(build_balanced(leaves, 0, leaves.size()),
-                      std::memory_order_relaxed);
-    delete_unpublished(old_left);  // the plain ∞1 leaf from delegation
+    bulk_load(std::vector<Key>(first, last), ingest::IngestOptions(1));
   }
 
   PnbBst(const PnbBst&) = delete;
@@ -432,6 +435,14 @@ class PnbBst {
       return n;
     }
 
+    // Visits every key of this version in ascending order (an unbounded
+    // ScanHelper traversal) — the full-extraction primitive behind shard
+    // rebuilds (src/shard/sharded_map.h reshard/rebuild_shard).
+    template <class Visitor>
+    void visit_all(Visitor&& vis) const {
+      tree_->template scan_tree<Key, Key>(seq_, nullptr, nullptr, vis);
+    }
+
     // --- Parallel scans (src/scan/ engine) ---------------------------------
     //
     // [lo, hi] is tiled into disjoint key-range chunks, each scanned at this
@@ -569,6 +580,69 @@ class PnbBst {
     return extreme(counter_.fetch_add(1, std::memory_order_seq_cst), false);
   }
 
+  // --- Batch ingest (src/ingest/ engine) ------------------------------------
+
+  // Parallel sorted bulk construction: sorts + de-duplicates `keys`, builds
+  // perfectly balanced phase-0 subtrees per executor task, and splices the
+  // result under the root. Returns the number of (distinct) keys loaded.
+  //
+  // SINGLE-WRITER PRECONDITION (ingest/bulk_build.h): the tree must be
+  // freshly constructed — never updated, never scanned — and not yet
+  // visible to any other thread; construction bypasses the freeze/help
+  // protocol entirely. Publish the tree only after bulk_load returns.
+  // Violating the "fresh" half is detectable in O(1) and would otherwise
+  // silently discard keys or let pre-existing snapshots observe the new
+  // phase-0 contents (time travel), so it aborts in ALL build types; the
+  // "still-private" half is on the caller. The check is exact: an
+  // erase-emptied tree's ∞1 leaf is a copy with a non-null prev (and a
+  // scanned tree has phase() > 0), while the construction-time leaf has
+  // seq 0 and no prev.
+  std::size_t bulk_load(std::vector<Key> keys,
+                        const ingest::IngestOptions& opts = {}) {
+    Node* old_left = root_->left.load(std::memory_order_relaxed);
+    if (!old_left->is_leaf() || old_left->key.is_finite() ||
+        old_left->prev != nullptr || old_left->seq != 0 || phase() != 0) {
+      std::fprintf(stderr,
+                   "PnbBst::bulk_load: tree is not fresh (it has seen "
+                   "updates or scans) — cold loads only; use apply_batch "
+                   "for live trees\n");
+      std::abort();
+    }
+    ingest::sort_unique_last(keys, [this](const Key& a, const Key& b) {
+      return less_.cmp(a, b);
+    });
+    std::vector<EK> leaves;
+    leaves.reserve(keys.size() + 1);
+    for (Key& k : keys) leaves.push_back(EK::finite(std::move(k)));
+    leaves.push_back(EK::inf1());
+    root_->left.store(ingest::TreeBuilder<PnbBst>::build(*this, leaves, opts),
+                      std::memory_order_relaxed);
+    delete_unpublished(old_left);  // the plain ∞1 leaf from construction
+    return keys.size();
+  }
+
+  // Batched updates against the LIVE tree: sorts + de-duplicates the batch
+  // (last op per key wins), tiles it into contiguous sorted runs, and
+  // applies each run on the executor through the ordinary lock-free
+  // insert/erase paths — so every op keeps its usual linearizability and
+  // the batch wins locality (sorted runs share upper-tree paths) plus
+  // parallel issue. The batch as a whole is NOT atomic (ingest/
+  // batch_apply.h has the argument).
+  ingest::BatchResult apply_batch(std::vector<batch_op> ops,
+                                  const ingest::IngestOptions& opts = {}) {
+    ingest::normalize_batch(ops, [this](const Key& a, const Key& b) {
+      return less_.cmp(a, b);
+    });
+    return ingest::apply_runs(
+        ops, opts, [this](batch_op& op, ingest::BatchResult& r) {
+          if (op.kind == ingest::BatchOpKind::kInsert) {
+            r.inserted += insert(op.key);
+          } else {
+            r.erased += erase(op.key);
+          }
+        });
+  }
+
   // --- Introspection ---------------------------------------------------------
 
   Stats& stats() noexcept { return stats_; }
@@ -586,6 +660,12 @@ class PnbBst {
   const Info* debug_dummy() const noexcept { return dummy_; }
 
  private:
+  // Bulk construction (ingest/bulk_build.h) uses the node factories and
+  // root pointer directly — it builds private phase-0 subtrees and never
+  // touches the freeze/help machinery.
+  template <class Tree>
+  friend struct ingest::TreeBuilder;
+
   struct SearchResult {
     Internal* gp;
     Internal* p;
@@ -861,22 +941,6 @@ class PnbBst {
     }
     if (!cur->key.is_finite()) return std::nullopt;
     return cur->key.key;
-  }
-
-  // --- Bulk loading ----------------------------------------------------------
-
-  // Builds a balanced leaf-oriented subtree over leaves[lo, hi); internal
-  // keys are the minimum of their right subtree, per the BST property.
-  Node* build_balanced(const std::vector<EK>& leaves, std::size_t lo,
-                       std::size_t hi) {
-    if (hi - lo == 1) return make_leaf(leaves[lo], 0, nullptr);
-    const std::size_t mid = lo + (hi - lo + 1) / 2;
-    Internal* in = make_internal(leaves[mid], 0, nullptr);
-    in->left.store(build_balanced(leaves, lo, mid),
-                   std::memory_order_relaxed);
-    in->right.store(build_balanced(leaves, mid, hi),
-                    std::memory_order_relaxed);
-    return in;
   }
 
   // --- Memory management -----------------------------------------------------

@@ -25,6 +25,7 @@
 
 #include "core/concepts.h"
 #include "core/pnb_bst.h"
+#include "ingest/batch_apply.h"
 #include "scan/parallel_scan.h"
 
 namespace pnbbst {
@@ -98,6 +99,9 @@ class PnbMap {
   using mapped_type = V;
   using Entry = MapEntry<K, V>;
   using Tree = PnbBst<Entry, MapEntryLess<K, V, Compare>, R, Stats>;
+  // Batch ingest shapes (src/ingest/, BatchIngestible in core/concepts.h).
+  using bulk_item = std::pair<K, V>;
+  using batch_op = ingest::BatchOp<K, V>;
 
   explicit PnbMap(R& reclaimer = R::shared()) : tree_(reclaimer) {}
 
@@ -224,6 +228,39 @@ class PnbMap {
   std::size_t size() { return tree_.size(); }
   bool empty() { return tree_.empty(); }
 
+  // --- Batch ingest (src/ingest/ engine) -----------------------------------
+
+  // Parallel sorted bulk construction from (key, value) pairs. Duplicate
+  // keys keep the LAST pair (batch order semantics). Same single-writer
+  // precondition as PnbBst::bulk_load: fresh, empty, still-private map.
+  std::size_t bulk_load(std::vector<bulk_item> items,
+                        const ingest::IngestOptions& opts = {}) {
+    std::vector<Entry> entries;
+    entries.reserve(items.size());
+    for (bulk_item& it : items) {
+      entries.emplace_back(std::move(it.first), std::move(it.second));
+    }
+    return tree_.bulk_load(std::move(entries), opts);
+  }
+
+  // Batched inserts/erases against the live map; each op takes the normal
+  // lock-free path (insert keeps insert-if-absent semantics). Last op per
+  // key wins within the batch; the batch as a whole is not atomic.
+  ingest::BatchResult apply_batch(std::vector<batch_op> ops,
+                                  const ingest::IngestOptions& opts = {}) {
+    ingest::normalize_batch(ops, [cmp = Compare{}](const K& a, const K& b) {
+      return cmp(a, b);
+    });
+    return ingest::apply_runs(
+        ops, opts, [this](batch_op& op, ingest::BatchResult& r) {
+          if (op.kind == ingest::BatchOpKind::kInsert) {
+            r.inserted += insert(std::move(op.key), std::move(op.value));
+          } else {
+            r.erased += erase(op.key);
+          }
+        });
+  }
+
   // --- Ordered queries -----------------------------------------------------
 
   template <class Q = K>
@@ -262,6 +299,13 @@ class PnbMap {
     }
 
     std::size_t size() const { return snap_.size(); }
+
+    // Visits every (key, value) pair of this version in ascending key
+    // order — full extraction, used by shard rebuilds (sharded_map.h).
+    template <class Visitor>
+    void visit_all(Visitor&& vis) const {
+      snap_.visit_all([&vis](const Entry& e) { vis(e.key, e.value()); });
+    }
 
     template <class QLo = K, class QHi = K, class Visitor>
       requires ProbeFor<QLo, K, Compare> && ProbeFor<QHi, K, Compare>
@@ -372,5 +416,6 @@ static_assert(OrderedMap<PnbMap<long, long>, long, long>);
 static_assert(MapScannable<PnbMap<long, long>, long, long>);
 static_assert(ParallelScannable<PnbMap<long, long>, long>);
 static_assert(PhasedSnapshottable<PnbMap<long, long>>);
+static_assert(BatchIngestible<PnbMap<long, long>>);
 
 }  // namespace pnbbst

@@ -1,0 +1,135 @@
+// Concurrent-safe batched updates against a *live* structure.
+//
+// apply_batch (surfaced on PnbBst / PnbMap / ShardedPnbMap / SetAdapter via
+// the BatchIngestible concept) takes a vector of insert/erase ops and:
+//
+//   1. normalizes it — stable sort by key, keep the LAST op per key, so the
+//      batch behaves as if its ops were applied in order with later ops
+//      overriding earlier ones on the same key;
+//   2. tiles the sorted vector into contiguous index runs
+//      (scan::partition_range over indices — the same tiling the parallel
+//      scan engine uses over key space);
+//   3. applies each run on the scan::ScanExecutor, caller participating.
+//
+// LINEARIZABILITY: every op still goes through the structure's ordinary
+// lock-free update path (one CAS-protocol insert/erase per op), so each op
+// is individually linearizable exactly as before — batching changes
+// nothing about the structure's guarantees. What the batch buys is (a)
+// locality: each run walks keys in ascending order, so consecutive ops
+// share upper-tree paths and caches, and (b) parallel issue across runs.
+// The batch AS A WHOLE is not atomic: a concurrent reader can observe any
+// interleaving of the batch's ops with other traffic. Ops on the same key
+// are deduplicated up front (keep-last), so no intra-batch ordering races
+// exist by construction: one op per key, applied exactly once.
+//
+// The returned BatchResult counts ops that changed the structure —
+// `inserted` inserts that added a key, `erased` erases that removed one —
+// plus `applied`, the op count actually issued after dedup.
+//
+// ANTI-PATTERN — cold loads: do NOT build a tree from scratch with one big
+// insert batch. The normalizer sorts the ops, and sorted insertion into an
+// empty unbalanced tree degenerates it to Θ(n) depth (quadratic total
+// work; Tab.E9's old sorted-insert row measured exactly this). apply_batch
+// is for bursts against an ESTABLISHED tree, whose shape bounds the damage
+// — new keys splice between existing leaves at the established depth. Cold
+// loads belong to bulk_load (bulk_build.h), which is balanced by
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ingest/bulk_build.h"
+#include "ingest/options.h"
+#include "scan/parallel_scan.h"
+#include "scan/partition.h"
+
+namespace pnbbst::ingest {
+
+enum class BatchOpKind : std::uint8_t { kInsert, kErase };
+
+// One batched operation. The primary template carries a value payload (map
+// batches); the V = void specialization is the set shape. Aggregate layout
+// so callers can brace-init; the factories read better in application code.
+template <class K, class V = void>
+struct BatchOp {
+  K key{};
+  V value{};
+  BatchOpKind kind = BatchOpKind::kInsert;
+
+  static BatchOp insert(K k, V v) {
+    return BatchOp{std::move(k), std::move(v), BatchOpKind::kInsert};
+  }
+  // Erase carries no payload; the value member stays default-constructed.
+  static BatchOp erase(K k) {
+    return BatchOp{std::move(k), V{}, BatchOpKind::kErase};
+  }
+};
+
+template <class K>
+struct BatchOp<K, void> {
+  K key{};
+  BatchOpKind kind = BatchOpKind::kInsert;
+
+  static BatchOp insert(K k) {
+    return BatchOp{std::move(k), BatchOpKind::kInsert};
+  }
+  static BatchOp erase(K k) {
+    return BatchOp{std::move(k), BatchOpKind::kErase};
+  }
+};
+
+struct BatchResult {
+  std::size_t applied = 0;   // ops issued after keep-last dedup
+  std::size_t inserted = 0;  // inserts that added a key
+  std::size_t erased = 0;    // erases that removed a key
+
+  std::size_t changed() const noexcept { return inserted + erased; }
+
+  BatchResult& operator+=(const BatchResult& o) noexcept {
+    applied += o.applied;
+    inserted += o.inserted;
+    erased += o.erased;
+    return *this;
+  }
+};
+
+// Stable-sorts ops by key and keeps the last op per key (batch order
+// semantics: the final op on a key decides). `key_less` orders keys.
+template <class Op, class KeyLess>
+void normalize_batch(std::vector<Op>& ops, KeyLess key_less) {
+  sort_unique_last(ops, [&key_less](const Op& a, const Op& b) {
+    return key_less(a.key, b.key);
+  });
+}
+
+// Applies a normalized (sorted, one-op-per-key) batch in contiguous index
+// runs fanned across the executor. `apply_one(op, result)` must route the
+// op through the target's ordinary update path and bump result.inserted /
+// result.erased; ops are passed as mutable references (each is applied
+// exactly once, so apply_one may move out of the op's payload). apply_one
+// runs concurrently across runs and must not throw.
+template <class Op, class ApplyFn>
+BatchResult apply_runs(std::vector<Op>& ops, const IngestOptions& opts,
+                       ApplyFn&& apply_one) {
+  BatchResult total;
+  if (ops.empty()) return total;
+  const std::size_t want = opts.resolve_runs(ops.size());
+  const auto runs =
+      scan::partition_range<std::size_t>(0, ops.size() - 1, want);
+  std::vector<BatchResult> parts(runs.size());
+  scan::run_tasks(opts.scan_options(), runs.size(), [&](std::size_t r) {
+    BatchResult local;
+    for (std::size_t i = runs[r].first; i <= runs[r].second; ++i) {
+      apply_one(ops[i], local);
+    }
+    local.applied = runs[r].second - runs[r].first + 1;
+    parts[r] = local;
+  });
+  for (const BatchResult& p : parts) total += p;
+  return total;
+}
+
+}  // namespace pnbbst::ingest

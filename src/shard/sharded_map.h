@@ -16,6 +16,19 @@
 //   HashSplitter<K>   mixed std::hash partition — balances any key
 //                     distribution, but every scan spans all shards.
 //
+// Routing table (live resharding support)
+// ---------------------------------------
+// The splitter and the shard pointers live together in one immutable
+// `Table` published through a single atomic pointer. Every operation loads
+// the table exactly once, so it always sees a *mutually consistent*
+// (splitter, shards) pair — there is no window where a key routes with the
+// new splitter into an old shard or vice versa. reshard()/rebuild_shard()
+// build replacement maps offline (snapshot-scan → bulk_build) and cut over
+// by swapping that one pointer. Replaced tables and maps are kept on an
+// internal retire list (snapshots and in-flight operations may still
+// reference them) and freed in the destructor or by purge_retired() under
+// quiescence.
+//
 // Cross-shard consistency contract
 // --------------------------------
 // Each shard is an independent PNB-BST with its own phase counter, so there
@@ -38,6 +51,26 @@
 //     fully linearizable.
 //   * assign keeps PnbMap's documented non-atomicity on top of this.
 //
+// Reshard contract (reshard / rebuild_shard)
+// ------------------------------------------
+//   * READS stay safe and table-consistent throughout: an operation runs
+//     entirely against the table it loaded — either the pre-reshard or the
+//     post-reshard world, never a mix — so a concurrent reader observes no
+//     duplicated and no mis-routed keys. Memory stays valid because
+//     replaced tables/maps are retired, not freed.
+//   * WRITES concurrent with a reshard may be LOST: the rebuild bulk-loads
+//     from snapshots, so an update that lands on the old table after its
+//     shard's migration snapshot is discarded at cutover (readers may even
+//     observe the update and then stop observing it once the new table is
+//     published). Quiesce writers across reshard()/rebuild_shard() for a
+//     loss-free migration; reads need no quiescing.
+//   * reshard() changes the routing function; the shard *count* is a
+//     template parameter and fixed for the instance's lifetime.
+//   * Snapshots taken before a reshard stay valid and keep answering from
+//     the pre-reshard world (they reference the retired table).
+//   * reshard() and rebuild_shard() serialize against each other on an
+//     internal mutex; they never block readers or single-key writers.
+//
 // The per-shard wait-freedom bound is preserved: a merged scan performs
 // NumShards wait-free scans plus a bounded merge, so it cannot be starved
 // by concurrent updates.
@@ -48,6 +81,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -55,6 +89,7 @@
 
 #include "core/concepts.h"
 #include "core/pnb_map.h"
+#include "ingest/batch_apply.h"
 #include "scan/parallel_scan.h"
 #include "util/random.h"
 
@@ -127,17 +162,32 @@ template <class K, class V, std::size_t NumShards = 8,
 class ShardedPnbMap {
   static_assert(NumShards >= 1, "at least one shard");
 
+  struct Table;  // routing generation; defined with the private members
+
  public:
   using key_type = K;
   using mapped_type = V;
   using Map = PnbMap<K, V, Compare, R, Stats>;
+  // Batch ingest shapes (src/ingest/, BatchIngestible in core/concepts.h).
+  using bulk_item = std::pair<K, V>;
+  using batch_op = ingest::BatchOp<K, V>;
   static constexpr std::size_t kNumShards = NumShards;
 
   explicit ShardedPnbMap(Splitter splitter = Splitter{},
                          R& reclaimer = R::shared())
-      : splitter_(std::move(splitter)) {
-    for (auto& s : shards_) s = std::make_unique<Map>(reclaimer);
+      : reclaimer_(&reclaimer) {
+    auto table = std::make_unique<Table>();
+    table->splitter = std::move(splitter);
+    for (std::size_t i = 0; i < NumShards; ++i) {
+      maps_.push_back(std::make_unique<Map>(reclaimer));
+      table->shards[i] = maps_.back().get();
+    }
+    table_.store(table.get(), std::memory_order_release);
+    tables_.push_back(std::move(table));
   }
+
+  ShardedPnbMap(const ShardedPnbMap&) = delete;
+  ShardedPnbMap& operator=(const ShardedPnbMap&) = delete;
 
   // --- Point operations (single shard, fully linearizable) -----------------
 
@@ -214,12 +264,172 @@ class ShardedPnbMap {
   std::size_t size() { return snapshot().size(); }
   bool empty() { return size() == 0; }
 
+  // --- Batch ingest (src/ingest/ engine) ------------------------------------
+
+  // Parallel bulk construction: routes the items per shard with the current
+  // splitter, then bulk-builds every shard's balanced tree as one executor
+  // task. The full options cascade into each shard's build (nested
+  // run_tasks batches are caller-participating and cannot deadlock), so a
+  // batch skewed onto few shards still fans out within them while the
+  // executor width bounds total parallelism. Duplicate keys keep the LAST
+  // pair. Same single-writer precondition as PnbMap::bulk_load, for the
+  // whole instance: fresh, empty, still-private.
+  std::size_t bulk_load(std::vector<bulk_item> items,
+                        const ingest::IngestOptions& opts = {}) {
+    const Table* table = table_.load(std::memory_order_acquire);
+    std::array<std::vector<bulk_item>, NumShards> routed;
+    for (bulk_item& it : items) {
+      routed[table->splitter.shard_of(it.first, NumShards)].push_back(
+          std::move(it));
+    }
+    std::array<std::size_t, NumShards> counts{};
+    scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
+      counts[i] = table->shards[i]->bulk_load(std::move(routed[i]), opts);
+    });
+    std::size_t total = 0;
+    for (std::size_t c : counts) total += c;
+    return total;
+  }
+
+  // Batched updates against the LIVE sharded map: ops are routed per shard
+  // with one consistent table load, then every non-empty shard batch is
+  // applied as one executor task (each shard batch sorts, dedups last-wins,
+  // and issues its ops through the ordinary lock-free paths; the full
+  // options cascade so skewed batches still parallelize within their
+  // shards). Per-op linearizability is per shard, exactly as for single
+  // ops; the batch as a whole is not atomic. Ops concurrent with a reshard
+  // may be lost (see the reshard contract above).
+  ingest::BatchResult apply_batch(std::vector<batch_op> ops,
+                                  const ingest::IngestOptions& opts = {}) {
+    const Table* table = table_.load(std::memory_order_acquire);
+    std::array<std::vector<batch_op>, NumShards> routed;
+    for (batch_op& op : ops) {
+      routed[table->splitter.shard_of(op.key, NumShards)].push_back(
+          std::move(op));
+    }
+    std::array<ingest::BatchResult, NumShards> parts{};
+    scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
+      if (routed[i].empty()) return;
+      parts[i] = table->shards[i]->apply_batch(std::move(routed[i]), opts);
+    });
+    ingest::BatchResult total;
+    for (const ingest::BatchResult& p : parts) total += p;
+    return total;
+  }
+
+  // --- Resharding (see the reshard contract above) --------------------------
+
+  // Rebuilds shard i as a freshly bulk-built, perfectly balanced tree whose
+  // contents are the shard's snapshot at the call. Readers are undisturbed
+  // (atomic table cutover); writes racing the rebuild on THIS shard may be
+  // lost. Returns the number of entries in the rebuilt shard.
+  std::size_t rebuild_shard(std::size_t i,
+                            const ingest::IngestOptions& opts = {}) {
+    std::lock_guard<std::mutex> lock(reshard_mutex_);
+    const Table* old_table = table_.load(std::memory_order_acquire);
+    std::vector<bulk_item> items;
+    {
+      auto snap = old_table->shards[i]->snapshot();
+      items.reserve(snap.size());
+      snap.visit_all([&items](const K& k, const V& v) {
+        items.emplace_back(k, v);
+      });
+    }
+    auto fresh = std::make_unique<Map>(*reclaimer_);
+    const std::size_t n = fresh->bulk_load(std::move(items), opts);
+    auto table = std::make_unique<Table>(*old_table);
+    table->shards[i] = fresh.get();
+    maps_.push_back(std::move(fresh));
+    publish(std::move(table));
+    return n;
+  }
+
+  // Migrates the whole map to a new routing function: snapshot every shard
+  // (sequentially, same contract as a merged scan), partition the union by
+  // the new splitter, bulk-build NumShards fresh balanced shard trees in
+  // parallel, and cut over atomically. Returns the number of entries
+  // migrated. Readers see pre- or post-reshard state, never a mix; writes
+  // racing the migration may be lost (contract above).
+  std::size_t reshard(Splitter new_splitter,
+                      const ingest::IngestOptions& opts = {}) {
+    std::lock_guard<std::mutex> lock(reshard_mutex_);
+    const Table* old_table = table_.load(std::memory_order_acquire);
+    // Snapshot every shard first (sequentially, ascending — the same
+    // structure as a merged scan), then reserve once for the whole union
+    // before extracting.
+    std::vector<typename Map::Snapshot> snaps;
+    snaps.reserve(NumShards);
+    std::size_t union_size = 0;
+    for (std::size_t i = 0; i < NumShards; ++i) {
+      snaps.push_back(old_table->shards[i]->snapshot());
+      union_size += snaps.back().size();
+    }
+    std::vector<bulk_item> items;
+    items.reserve(union_size);
+    for (auto& snap : snaps) {
+      snap.visit_all([&items](const K& k, const V& v) {
+        items.emplace_back(k, v);
+      });
+    }
+    snaps.clear();  // release the per-shard pins before the parallel build
+    const std::size_t total = items.size();
+    auto table = std::make_unique<Table>();
+    table->splitter = std::move(new_splitter);
+    std::array<std::vector<bulk_item>, NumShards> routed;
+    for (bulk_item& it : items) {
+      routed[table->splitter.shard_of(it.first, NumShards)].push_back(
+          std::move(it));
+    }
+    std::array<std::unique_ptr<Map>, NumShards> fresh;
+    scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
+      fresh[i] = std::make_unique<Map>(*reclaimer_);
+      fresh[i]->bulk_load(std::move(routed[i]), opts);
+    });
+    for (std::size_t i = 0; i < NumShards; ++i) {
+      table->shards[i] = fresh[i].get();
+      maps_.push_back(std::move(fresh[i]));
+    }
+    publish(std::move(table));
+    return total;
+  }
+
+  // Frees maps and tables replaced by earlier reshard()/rebuild_shard()
+  // calls. PRECONDITION: full quiescence — no concurrent operations and no
+  // live Snapshot handles taken before the last cutover (both may still
+  // reference retired tables/maps). Returns the number of maps freed.
+  std::size_t purge_retired() {
+    std::lock_guard<std::mutex> lock(reshard_mutex_);
+    const Table* current = table_.load(std::memory_order_acquire);
+    std::size_t freed = 0;
+    std::vector<std::unique_ptr<Map>> live_maps;
+    for (auto& m : maps_) {
+      bool referenced = false;
+      for (std::size_t i = 0; i < NumShards; ++i) {
+        if (current->shards[i] == m.get()) referenced = true;
+      }
+      if (referenced) {
+        live_maps.push_back(std::move(m));
+      } else {
+        ++freed;  // unique_ptr reset by vector drop below
+      }
+    }
+    maps_ = std::move(live_maps);
+    std::vector<std::unique_ptr<const Table>> live_tables;
+    for (auto& t : tables_) {
+      if (t.get() == current) live_tables.push_back(std::move(t));
+    }
+    tables_ = std::move(live_tables);
+    return freed;
+  }
+
   // --- Snapshots -----------------------------------------------------------
 
   // Composite snapshot: one per-shard snapshot, taken in ascending shard
   // order. Queries against it are mutually consistent per shard (and
   // repeatable: the same Snapshot always answers the same), but the shard
   // snapshots belong to different per-shard phases — see the contract above.
+  // The handle references the routing table current at creation, so it
+  // keeps answering from the pre-reshard world across a reshard.
   class Snapshot {
    public:
     bool contains(const K& k) const {
@@ -303,7 +513,7 @@ class ShardedPnbMap {
 
     // Parallel merged scan: one executor task per shard snapshot (the
     // caller participates), feeding the same k-way merge as range_scan.
-    // Each task pins the shard's reclaimer for the duration of its scan —
+    // Each task pins the shared reclaimer for the duration of its scan —
     // the composite snapshot's per-shard guards keep the frozen versions
     // alive, and the task pin covers retirements a helping worker may
     // trigger. Results are identical to the sequential merged scan on this
@@ -313,8 +523,7 @@ class ShardedPnbMap {
         const scan::ParallelScanOptions& opts = {}) const {
       std::vector<std::vector<std::pair<K, V>>> parts(snaps_.size());
       scan::run_tasks(opts, snaps_.size(), [&](std::size_t i) {
-        auto guard =
-            owner_->shards_[snaps_[i].shard]->underlying().reclaimer().pin();
+        auto guard = owner_->reclaimer_->pin();
         parts[i] = snaps_[i].snap.range_scan(lo, hi);
       });
       return merge_sorted(std::move(parts));
@@ -325,8 +534,7 @@ class ShardedPnbMap {
         const scan::ParallelScanOptions& opts = {}) const {
       std::vector<std::size_t> parts(snaps_.size(), 0);
       scan::run_tasks(opts, snaps_.size(), [&](std::size_t i) {
-        auto guard =
-            owner_->shards_[snaps_[i].shard]->underlying().reclaimer().pin();
+        auto guard = owner_->reclaimer_->pin();
         parts[i] = snaps_[i].snap.range_count(lo, hi);
       });
       std::size_t total = 0;
@@ -350,13 +558,15 @@ class ShardedPnbMap {
       typename Map::Snapshot snap;
     };
 
-    Snapshot(const ShardedPnbMap* owner, std::vector<ShardSnap>&& snaps)
-        : owner_(owner), snaps_(std::move(snaps)) {}
+    Snapshot(const ShardedPnbMap* owner, const Table* table,
+             std::vector<ShardSnap>&& snaps)
+        : owner_(owner), table_(table), snaps_(std::move(snaps)) {}
 
-    // Snapshot of the shard owning k, or nullptr when k's shard is outside
-    // this snapshot's span.
+    // Snapshot of the shard owning k — routed by the snapshot's own table,
+    // so a reshard cannot re-route a live snapshot — or nullptr when k's
+    // shard is outside this snapshot's span.
     const typename Map::Snapshot* route(const K& k) const {
-      const std::size_t idx = owner_->splitter_.shard_of(k, NumShards);
+      const std::size_t idx = table_->splitter.shard_of(k, NumShards);
       for (const auto& s : snaps_) {
         if (s.shard == idx) return &s.snap;
       }
@@ -364,36 +574,73 @@ class ShardedPnbMap {
     }
 
     const ShardedPnbMap* owner_;
+    const Table* table_;
     std::vector<ShardSnap> snaps_;
   };
 
   // Snapshot covering all shards.
-  Snapshot snapshot() { return snapshot_shards(0, NumShards); }
+  Snapshot snapshot() {
+    const Table* table = table_.load(std::memory_order_acquire);
+    return snapshot_shards(table, 0, NumShards);
+  }
 
   // --- Introspection --------------------------------------------------------
 
-  Map& shard_ref(std::size_t i) { return *shards_[i]; }
-  const Splitter& splitter() const noexcept { return splitter_; }
+  Map& shard_ref(std::size_t i) {
+    return *table_.load(std::memory_order_acquire)->shards[i];
+  }
+  // The current routing function. The reference stays valid until the next
+  // purge_retired()/destruction, but a reshard can make it stale —
+  // introspection use only.
+  const Splitter& splitter() const noexcept {
+    return table_.load(std::memory_order_acquire)->splitter;
+  }
   std::size_t shard_of(const K& k) const {
-    return splitter_.shard_of(k, NumShards);
+    return table_.load(std::memory_order_acquire)
+        ->splitter.shard_of(k, NumShards);
+  }
+  // Maps retained for retired tables (0 until the first reshard).
+  std::size_t retired_maps() const {
+    std::lock_guard<std::mutex> lock(reshard_mutex_);
+    return maps_.size() - NumShards;
   }
 
  private:
-  Map& shard(const K& k) { return *shards_[shard_of(k)]; }
+  // One immutable (splitter, shards) routing generation. Published through
+  // table_; operations load it once and stay internally consistent.
+  struct Table {
+    Splitter splitter{};
+    std::array<Map*, NumShards> shards{};
+  };
+
+  Map& shard(const K& k) {
+    const Table* table = table_.load(std::memory_order_acquire);
+    return *table->shards[table->splitter.shard_of(k, NumShards)];
+  }
 
   // Snapshot restricted to the shards that can hold keys of [lo, hi].
   Snapshot snapshot_span(const K& lo, const K& hi) {
-    const auto [first, last] = splitter_.shard_span(lo, hi, NumShards);
-    return snapshot_shards(first, last);
+    const Table* table = table_.load(std::memory_order_acquire);
+    const auto [first, last] =
+        table->splitter.shard_span(lo, hi, NumShards);
+    return snapshot_shards(table, first, last);
   }
 
-  Snapshot snapshot_shards(std::size_t first, std::size_t last) {
+  Snapshot snapshot_shards(const Table* table, std::size_t first,
+                           std::size_t last) {
     std::vector<typename Snapshot::ShardSnap> snaps;
     snaps.reserve(last - first);
     for (std::size_t i = first; i < last; ++i) {
-      snaps.push_back({i, shards_[i]->snapshot()});
+      snaps.push_back({i, table->shards[i]->snapshot()});
     }
-    return Snapshot(this, std::move(snaps));
+    return Snapshot(this, table, std::move(snaps));
+  }
+
+  // Cut over to a new routing table (holding reshard_mutex_). The old table
+  // stays on tables_ for snapshots and in-flight operations.
+  void publish(std::unique_ptr<const Table> table) {
+    table_.store(table.get(), std::memory_order_release);
+    tables_.push_back(std::move(table));
   }
 
   // k-way merge of ascending per-shard runs. Cursor scan: O(total · parts),
@@ -422,8 +669,14 @@ class ShardedPnbMap {
     return out;
   }
 
-  [[no_unique_address]] Splitter splitter_;
-  std::array<std::unique_ptr<Map>, NumShards> shards_;
+  R* reclaimer_;
+  std::atomic<const Table*> table_{nullptr};
+  // Owning stores for every map/table generation, mutated only under
+  // reshard_mutex_ (the constructor runs pre-publication). Retired
+  // generations are freed by purge_retired() or the destructor.
+  mutable std::mutex reshard_mutex_;
+  std::vector<std::unique_ptr<Map>> maps_;
+  std::vector<std::unique_ptr<const Table>> tables_;
 };
 
 // The sharded front-end models the same concepts as the single-shard map.
@@ -431,7 +684,10 @@ static_assert(OrderedMap<ShardedPnbMap<long, long, 4>, long, long>);
 static_assert(MapScannable<ShardedPnbMap<long, long, 4>, long, long>);
 static_assert(ParallelScannable<ShardedPnbMap<long, long, 4>, long>);
 static_assert(Snapshottable<ShardedPnbMap<long, long, 4>>);
+static_assert(BatchIngestible<ShardedPnbMap<long, long, 4>>);
 static_assert(
     OrderedMap<ShardedPnbMap<long, long, 4, RangeSplitter<long>>, long, long>);
+static_assert(
+    BatchIngestible<ShardedPnbMap<long, long, 4, RangeSplitter<long>>>);
 
 }  // namespace pnbbst

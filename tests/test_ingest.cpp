@@ -1,0 +1,392 @@
+// Deterministic tests for the batch ingest engine (src/ingest/):
+//
+//  * sort_unique_last / normalize_batch semantics (keep-last dedup);
+//  * IngestOptions run planning (grain floor, thread cap);
+//  * bulk_load: differential vs sequential insert, tree validity, balance
+//    (depth bound), shape identity with the sequential bulk constructor,
+//    thread-count independence of the result;
+//  * apply_batch: differential vs a last-op-wins model on PnbBst, PnbMap
+//    and ShardedPnbMap, result counters, insert-if-absent semantics;
+//  * resharding: rebuild_shard / reshard preserve contents, retire and
+//    purge bookkeeping, pre-reshard snapshots stay valid;
+//  * BatchIngestible concept coverage (positive and negative).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "baseline/set_adapter.h"
+#include "common.h"
+#include "core/pnb_bst.h"
+#include "core/pnb_map.h"
+#include "core/validate.h"
+#include "ingest/batch_apply.h"
+#include "ingest/bulk_build.h"
+#include "shard/sharded_map.h"
+#include "util/random.h"
+
+namespace pnbbst {
+namespace {
+
+using ingest::BatchOp;
+using ingest::BatchOpKind;
+using ingest::IngestOptions;
+
+// Shuffled 0..n-1 (Fisher–Yates with the repo PRNG).
+std::vector<long> shuffled_keys(long n, std::uint64_t seed) {
+  std::vector<long> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (long k = 0; k < n; ++k) keys.push_back(k);
+  Xoshiro256 rng(seed);
+  for (long i = n - 1; i > 0; --i) {
+    std::swap(keys[static_cast<std::size_t>(i)],
+              keys[rng.next_bounded(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  return keys;
+}
+
+// Max leaf depth of the current version (quiescent).
+template <class Tree>
+std::size_t max_depth(Tree& tree) {
+  using Node = typename Tree::Node;
+  struct Frame {
+    Node* node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{tree.debug_root(), 0}};
+  std::size_t deepest = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->is_leaf()) {
+      deepest = std::max(deepest, f.depth);
+      continue;
+    }
+    auto* in = as_internal(f.node);
+    stack.push_back({in->left.load(std::memory_order_relaxed), f.depth + 1});
+    stack.push_back({in->right.load(std::memory_order_relaxed), f.depth + 1});
+  }
+  return deepest;
+}
+
+// Structural equality of two quiescent current-version trees: same shape,
+// same keys (including sentinel placement).
+template <class Tree>
+bool same_shape(typename Tree::Node* a, typename Tree::Node* b) {
+  ExtKeyLess<typename Tree::key_type> less;
+  if (a->is_leaf() != b->is_leaf()) return false;
+  if (!less.equal(a->key, b->key)) return false;
+  if (a->is_leaf()) return true;
+  auto* ia = as_internal(a);
+  auto* ib = as_internal(b);
+  return same_shape<Tree>(ia->left.load(std::memory_order_relaxed),
+                          ib->left.load(std::memory_order_relaxed)) &&
+         same_shape<Tree>(ia->right.load(std::memory_order_relaxed),
+                          ib->right.load(std::memory_order_relaxed));
+}
+
+TEST(IngestPrimitives, SortUniqueLastKeepsFinalElementPerKey) {
+  // (key, tag) pairs ordered by key only: the surviving tag per key must be
+  // the last one in input order.
+  std::vector<std::pair<int, int>> v = {
+      {3, 0}, {1, 0}, {3, 1}, {2, 0}, {1, 1}, {3, 2}};
+  ingest::sort_unique_last(v, [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], std::make_pair(1, 1));
+  EXPECT_EQ(v[1], std::make_pair(2, 0));
+  EXPECT_EQ(v[2], std::make_pair(3, 2));
+}
+
+TEST(IngestPrimitives, NormalizeBatchLastOpPerKeyWins) {
+  std::vector<BatchOp<long>> ops = {
+      BatchOp<long>::insert(5), BatchOp<long>::erase(5),
+      BatchOp<long>::erase(7), BatchOp<long>::insert(7),
+      BatchOp<long>::insert(6)};
+  ingest::normalize_batch(ops, std::less<long>{});
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].key, 5);
+  EXPECT_EQ(ops[0].kind, BatchOpKind::kErase);
+  EXPECT_EQ(ops[1].key, 6);
+  EXPECT_EQ(ops[1].kind, BatchOpKind::kInsert);
+  EXPECT_EQ(ops[2].key, 7);
+  EXPECT_EQ(ops[2].kind, BatchOpKind::kInsert);
+}
+
+TEST(IngestPrimitives, ResolveRunsHonorsGrainAndThreadCap) {
+  scan::ScanExecutor ex(4);
+  IngestOptions opts(4, ex);
+  opts.min_run = 100;
+  EXPECT_EQ(opts.resolve_runs(0), 0u);
+  EXPECT_EQ(opts.resolve_runs(50), 1u);    // below grain: sequential
+  EXPECT_EQ(opts.resolve_runs(250), 2u);   // grain-limited
+  EXPECT_EQ(opts.resolve_runs(100000), 16u);  // thread*oversplit cap
+  IngestOptions seq(1, ex);
+  EXPECT_EQ(seq.resolve_runs(100000), 1u);  // one thread: sequential
+}
+
+TEST(BulkBuild, DifferentialAgainstSequentialInsert) {
+  scan::ScanExecutor ex(4);
+  for (long n : {0L, 1L, 2L, 7L, 1000L, 4096L, 30000L}) {
+    const auto keys = shuffled_keys(n, 42);
+    PnbBst<long> bulk;
+    EXPECT_EQ(bulk.bulk_load(keys, IngestOptions(4, ex)),
+              static_cast<std::size_t>(n));
+    PnbBst<long> seq;
+    for (long k : keys) seq.insert(k);
+    EXPECT_EQ(bulk.size(), seq.size()) << "n=" << n;
+    EXPECT_EQ(bulk.range_scan(0, n), seq.range_scan(0, n)) << "n=" << n;
+    auto rep = check_current(bulk);
+    EXPECT_TRUE(rep.ok) << "n=" << n << ": " << rep.error;
+  }
+}
+
+TEST(BulkBuild, ProducesBalancedTree) {
+  scan::ScanExecutor ex(8);
+  for (long n : {1000L, 100000L}) {
+    PnbBst<long> tree;
+    tree.bulk_load(shuffled_keys(n, 7), IngestOptions(8, ex));
+    // n keys -> n+1 leaves under the root's left child, plus the root and
+    // its ∞2 leaf. Perfectly balanced: depth <= ceil(log2(n+1)) + 2.
+    std::size_t cap = 2;
+    while ((1L << cap) < n + 1) ++cap;
+    EXPECT_LE(max_depth(tree), cap + 2) << "n=" << n;
+  }
+}
+
+TEST(BulkBuild, ParallelShapeIdenticalToSequentialConstructor) {
+  const long n = 20000;
+  const auto keys = shuffled_keys(n, 99);
+  std::vector<long> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+
+  PnbBst<long> ctor_tree(sorted.begin(), sorted.end());
+  scan::ScanExecutor ex(4);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    PnbBst<long> bulk;
+    bulk.bulk_load(keys, IngestOptions(threads, ex));
+    EXPECT_TRUE(same_shape<PnbBst<long>>(ctor_tree.debug_root(),
+                                         bulk.debug_root()))
+        << "threads=" << threads
+        << ": parallel bulk build diverged from the sequential shape";
+  }
+}
+
+TEST(BulkBuild, DeduplicatesAndSortsArbitraryInput) {
+  PnbBst<long> tree;
+  EXPECT_EQ(tree.bulk_load({5, 3, 5, 1, 3, 3, 9}), 4u);
+  EXPECT_EQ(tree.range_scan(0, 10), (std::vector<long>{1, 3, 5, 9}));
+  auto rep = check_current(tree);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(BulkBuild, MapKeepsLastValuePerDuplicateKey) {
+  PnbMap<long, long> map;
+  EXPECT_EQ(map.bulk_load({{1, 10}, {2, 20}, {1, 11}, {2, 22}, {1, 12}}), 2u);
+  EXPECT_EQ(map.get_or(1, -1), 12);
+  EXPECT_EQ(map.get_or(2, -1), 22);
+}
+
+TEST(BulkBuild, ShardedRoutesEveryKeyToItsShard) {
+  constexpr long kRange = 4000;
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, kRange});
+  std::vector<std::pair<long, long>> items;
+  const auto keys = shuffled_keys(kRange, 3);
+  for (long k : keys) items.emplace_back(k, k * 2);
+  scan::ScanExecutor ex(4);
+  EXPECT_EQ(map.bulk_load(std::move(items), IngestOptions(4, ex)),
+            static_cast<std::size_t>(kRange));
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kRange));
+  // Every shard holds exactly its contiguous quarter.
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(map.shard_ref(s).size(), static_cast<std::size_t>(kRange / 4));
+  }
+  for (long k : {0L, 999L, 1000L, 2500L, 3999L}) {
+    EXPECT_EQ(map.get_or(k, -1), k * 2);
+    EXPECT_TRUE(map.shard_ref(map.shard_of(k)).contains(k));
+  }
+}
+
+// Reference model for a batch against a std::set: last op per key, applied
+// to the pre-batch contents. Returns {inserted, erased} counts.
+std::pair<std::size_t, std::size_t> model_apply(
+    std::set<long>& model, const std::vector<BatchOp<long>>& ops) {
+  std::map<long, BatchOpKind> last;
+  for (const auto& op : ops) last[op.key] = op.kind;
+  std::size_t ins = 0;
+  std::size_t ers = 0;
+  for (const auto& [k, kind] : last) {
+    if (kind == BatchOpKind::kInsert) {
+      ins += model.insert(k).second;
+    } else {
+      ers += model.erase(k) > 0;
+    }
+  }
+  return {ins, ers};
+}
+
+TEST(ApplyBatch, DifferentialOnTree) {
+  scan::ScanExecutor ex(4);
+  PnbBst<long> tree;
+  std::set<long> model;
+  Xoshiro256 rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<BatchOp<long>> ops;
+    const int batch = 1 + static_cast<int>(rng.next_bounded(3000));
+    for (int i = 0; i < batch; ++i) {
+      const long k = static_cast<long>(rng.next_bounded(2000));
+      ops.push_back(rng.next_bounded(2) != 0 ? BatchOp<long>::insert(k)
+                                             : BatchOp<long>::erase(k));
+    }
+    IngestOptions opts(4, ex);
+    opts.min_run = 64;  // force parallel runs even for small batches
+    const auto expected = model_apply(model, ops);
+    const auto got = tree.apply_batch(std::move(ops), opts);
+    EXPECT_EQ(got.inserted, expected.first) << "round " << round;
+    EXPECT_EQ(got.erased, expected.second) << "round " << round;
+    const auto contents = tree.range_scan(0, 2000);
+    EXPECT_EQ(contents, std::vector<long>(model.begin(), model.end()))
+        << "round " << round;
+  }
+  auto rep = check_current(tree);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(ApplyBatch, EmptyAndAllMissErase) {
+  PnbBst<long> tree;
+  const auto empty = tree.apply_batch({});
+  EXPECT_EQ(empty.applied, 0u);
+  EXPECT_EQ(empty.changed(), 0u);
+  const auto misses = tree.apply_batch(
+      {BatchOp<long>::erase(1), BatchOp<long>::erase(2)});
+  EXPECT_EQ(misses.applied, 2u);
+  EXPECT_EQ(misses.erased, 0u);
+  EXPECT_EQ(misses.inserted, 0u);
+}
+
+TEST(ApplyBatch, MapInsertIsInsertIfAbsent) {
+  PnbMap<long, long> map;
+  map.insert(1, 100);
+  const auto r = map.apply_batch({BatchOp<long, long>::insert(1, 999),
+                                  BatchOp<long, long>::insert(2, 200)});
+  EXPECT_EQ(r.applied, 2u);
+  EXPECT_EQ(r.inserted, 1u);  // key 1 already present: untouched
+  EXPECT_EQ(map.get_or(1, -1), 100);
+  EXPECT_EQ(map.get_or(2, -1), 200);
+}
+
+TEST(ApplyBatch, ShardedDifferentialAndCounts) {
+  constexpr long kRange = 2048;
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> sharded(
+      RangeSplitter<long>{0, kRange});
+  PnbMap<long, long> single;
+  Xoshiro256 rng(555);
+  scan::ScanExecutor ex(4);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<BatchOp<long, long>> ops;
+    for (int i = 0; i < 1500; ++i) {
+      const long k = static_cast<long>(rng.next_bounded(kRange));
+      ops.push_back(rng.next_bounded(3) != 0
+                        ? BatchOp<long, long>::insert(k, k * 7)
+                        : BatchOp<long, long>::erase(k));
+    }
+    auto ops_copy = ops;
+    const auto a = sharded.apply_batch(std::move(ops), IngestOptions(4, ex));
+    const auto b = single.apply_batch(std::move(ops_copy));
+    EXPECT_EQ(a.applied, b.applied) << "round " << round;
+    EXPECT_EQ(a.inserted, b.inserted) << "round " << round;
+    EXPECT_EQ(a.erased, b.erased) << "round " << round;
+    EXPECT_EQ(sharded.range_scan(0, kRange - 1),
+              single.range_scan(0, kRange - 1))
+        << "round " << round;
+  }
+}
+
+TEST(Reshard, RebuildShardPreservesContentsAndRebalances) {
+  constexpr long kRange = 4096;
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, kRange});
+  // Sorted sequential inserts give shard 0 a degenerate right-spine tree.
+  for (long k = 0; k < kRange / 4; ++k) map.insert(k, k + 1);
+  const auto before = map.range_scan(0, kRange - 1);
+  const std::size_t deep = max_depth(map.shard_ref(0).underlying());
+  EXPECT_GE(deep, static_cast<std::size_t>(kRange / 8));  // degenerate
+  EXPECT_EQ(map.rebuild_shard(0), static_cast<std::size_t>(kRange / 4));
+  EXPECT_LE(max_depth(map.shard_ref(0).underlying()), 14u);  // balanced
+  EXPECT_EQ(map.range_scan(0, kRange - 1), before);
+  EXPECT_EQ(map.retired_maps(), 1u);
+  EXPECT_EQ(map.purge_retired(), 1u);
+  EXPECT_EQ(map.retired_maps(), 0u);
+  EXPECT_EQ(map.range_scan(0, kRange - 1), before);
+}
+
+TEST(Reshard, ReshardMigratesToNewRoutingAndKeepsSnapshotsValid) {
+  constexpr long kRange = 3000;
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, kRange});
+  for (long k = 0; k < kRange; k += 3) map.insert(k, k * 2);
+  const auto before = map.range_scan(0, kRange - 1);
+  auto old_snap = map.snapshot();
+  const std::size_t old_size = old_snap.size();
+
+  // Skewed routing: shard 0 now owns [0, 2400), shard 3 the tail.
+  EXPECT_EQ(map.reshard(RangeSplitter<long>{0, 4 * kRange}),
+            before.size());
+  EXPECT_EQ(map.range_scan(0, kRange - 1), before);
+  for (long k = 0; k < kRange; ++k) {
+    EXPECT_EQ(map.get_or(k, -1), (k % 3 == 0) ? k * 2 : -1);
+  }
+  // All keys < kRange now route to the first shard under the wider range.
+  EXPECT_EQ(map.shard_of(0), map.shard_of(kRange - 1));
+  // The pre-reshard snapshot still answers from the pre-reshard world.
+  EXPECT_EQ(old_snap.size(), old_size);
+  EXPECT_EQ(old_snap.get(0).value_or(-1), 0);
+  // Retired generations: 4 replaced maps; purge only under quiescence and
+  // after dropping the old snapshot.
+  EXPECT_EQ(map.retired_maps(), 4u);
+  { auto drop = std::move(old_snap); }
+  EXPECT_EQ(map.purge_retired(), 4u);
+  EXPECT_EQ(map.range_scan(0, kRange - 1), before);
+}
+
+TEST(Reshard, WriteAfterReshardLandsInNewShards) {
+  ShardedPnbMap<long, long, 2, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, 100});
+  map.insert(10, 1);
+  map.reshard(RangeSplitter<long>{0, 10000});
+  map.insert(5000, 2);
+  EXPECT_EQ(map.get_or(10, -1), 1);
+  EXPECT_EQ(map.get_or(5000, -1), 2);
+  EXPECT_EQ(map.shard_of(5000), 1u);
+  EXPECT_TRUE(map.shard_ref(1).contains(5000));
+}
+
+// Concept coverage: the ingest surface is modeled by the PNB stack and by
+// nothing else.
+static_assert(BatchIngestible<PnbBst<long>>);
+static_assert(BatchIngestible<PnbMap<long, long>>);
+static_assert(BatchIngestible<ShardedPnbMap<long, long, 4>>);
+static_assert(BatchIngestible<SetAdapter<PnbBst<long>>>);
+static_assert(!BatchIngestible<NbBst<long>>);
+static_assert(!BatchIngestible<LockedBst<long>>);
+static_assert(!BatchIngestible<CowBst<long>>);
+static_assert(!BatchIngestible<LfSkipList<long>>);
+
+TEST(IngestConcepts, AdapterBatchSurfaceMatchesTree) {
+  PnbBst<long> tree;
+  auto set = adapt(tree);
+  EXPECT_EQ(set.bulk_load({3, 1, 2}), 3u);
+  const auto r = set.apply_batch({BatchOp<long>::insert(9),
+                                  BatchOp<long>::erase(1)});
+  EXPECT_EQ(r.inserted, 1u);
+  EXPECT_EQ(r.erased, 1u);
+  EXPECT_EQ(tree.range_scan(0, 10), (std::vector<long>{2, 3, 9}));
+}
+
+}  // namespace
+}  // namespace pnbbst

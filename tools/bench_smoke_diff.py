@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Smoke-profile bench regression sweep: run every bench with --smoke --json
+and diff it against the committed smoke baselines.
+
+This is the CI-facing wrapper around tools/bench_diff.py. The committed
+full-mode baselines (bench/baselines/BENCH_*.json) time real windows and
+need a quiet machine; the smoke profile (bench/baselines/smoke/) times
+~20 ms windows so it runs anywhere in seconds, at the cost of much noisier
+cells. Hence the defaults here: a GENEROUS tolerance (--tol 0.85, i.e. up
+to ~6.7x drift on a measured cell) plus a wide absolute shield
+(--abs-eps 5: cells differing by <= 5 units compare equal, so raw
+near-zero event counters like `helps` 0 vs 2 don't read as 100% drift).
+What survives that and still fails is shape drift — wrong row counts,
+renamed or vanished columns, config-column changes — or an
+order-of-magnitude regression. The CI job running this is advisory
+(continue-on-error) until cross-machine variance is understood.
+
+Usage, from the repo root:
+
+    python3 tools/bench_smoke_diff.py --build-dir build
+    python3 tools/bench_smoke_diff.py --build-dir build --tol 0.9 --only tab9
+
+Regenerating the committed smoke baselines (quiet machine, one bench at a
+time — concurrent bench processes steal each other's cycles):
+
+    python3 tools/bench_smoke_diff.py --build-dir build --regen
+
+Exit status: 0 all pass, 1 any diff failure or missing binary/baseline,
+2 usage errors.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# Experiment id -> bench binary, the inventory this sweep covers. micro_ops
+# (google-benchmark) has no table JSON and is excluded.
+BENCHES = {
+    "Fig.E1": "fig1_update_throughput",
+    "Fig.E2": "fig2_mixed_throughput",
+    "Fig.E3": "fig3_rangescan_mix",
+    "Fig.E4": "fig4_scan_latency",
+    "Fig.E7": "fig7_scan_scaling",
+    "Fig.SHARD": "fig_sharded_throughput",
+    "Tab.E5": "tab5_handshake_ablation",
+    "Tab.E6": "tab6_reclamation",
+    "Tab.E8": "tab8_zipf_skew",
+    "Tab.E9": "tab9_bulkload_ablation",
+}
+
+
+def run_bench(build_dir, binary):
+    # Absolute path: a bare relative name would make subprocess search
+    # PATH instead of the build directory.
+    path = (build_dir / binary).resolve()
+    if not path.exists():
+        return None, f"missing binary {path}"
+    try:
+        proc = subprocess.run(
+            [str(path), "--smoke", "--json"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+    except subprocess.TimeoutExpired:
+        return None, f"{binary} --smoke --json timed out after 600s"
+    if proc.returncode != 0:
+        return None, f"{binary} --smoke --json exited {proc.returncode}"
+    return proc.stdout, None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--build-dir", default="build", type=pathlib.Path)
+    parser.add_argument(
+        "--baselines",
+        default=None,
+        type=pathlib.Path,
+        help="smoke baseline dir (default: <repo>/bench/baselines/smoke)",
+    )
+    parser.add_argument("--tol", type=float, default=0.85)
+    parser.add_argument("--abs-eps", type=float, default=5.0)
+    parser.add_argument(
+        "--only", default=None, help="substring filter on binary names"
+    )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="overwrite the committed smoke baselines with fresh runs",
+    )
+    args = parser.parse_args()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    baselines = args.baselines or repo / "bench" / "baselines" / "smoke"
+    diff_tool = repo / "tools" / "bench_diff.py"
+
+    failures = []
+    ran = 0
+    for experiment, binary in sorted(BENCHES.items()):
+        if args.only and args.only not in binary:
+            continue
+        fresh, err = run_bench(args.build_dir, binary)
+        if err:
+            print(f"FAIL {binary}: {err}")
+            failures.append(binary)
+            continue
+        ran += 1
+        baseline_file = baselines / f"BENCH_{binary}.json"
+        if args.regen:
+            baselines.mkdir(parents=True, exist_ok=True)
+            baseline_file.write_text(fresh)
+            print(f"WROTE {baseline_file}")
+            continue
+        if not baseline_file.exists():
+            print(f"FAIL {binary}: no smoke baseline {baseline_file}")
+            failures.append(binary)
+            continue
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(diff_tool),
+                "-",
+                str(baseline_file),
+                "--tol",
+                str(args.tol),
+                "--abs-eps",
+                str(args.abs_eps),
+            ],
+            input=fresh,
+            text=True,
+        )
+        if proc.returncode != 0:
+            failures.append(binary)
+    if ran == 0:
+        print("error: no benches matched")
+        return 2
+    if failures:
+        print(f"\n{len(failures)} bench(es) drifted: {', '.join(failures)}")
+        return 1
+    print(f"\nall {ran} smoke profiles within tolerance {args.tol}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
