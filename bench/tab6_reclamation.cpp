@@ -1,14 +1,43 @@
-// Tab.E6 — Reclamation ablation: epoch-based reclamation vs the leaky
-// (no-reclamation) research-artifact configuration, for PNB-BST and NB-BST.
+// Tab.E6 — Reclamation ablations.
 //
-// What it shows: the throughput cost of safe memory reclamation (epoch
-// pinning, limbo management) and the memory consequence of not reclaiming
-// (pending counts grow without bound under churn).
+// Part (a): epoch-based reclamation vs the leaky (no-reclamation)
+// research-artifact configuration, for PNB-BST and NB-BST — the throughput
+// cost of safe memory reclamation (epoch pinning, limbo management) and
+// the memory consequence of not reclaiming (pending counts grow without
+// bound under churn).
+//
+// Part (b), PR 5: the snapshot-lease lifecycle under RESHARD CHURN on the
+// sharded front-end. Writer threads hammer a ShardedPnbMap while the main
+// thread migrates it continuously (reshard/rebuild cutovers, each retiring
+// a generation of shard maps). Two policies:
+//
+//   lease-auto    nothing pins the retired generations: every cutover's
+//                 maps are reclaimed automatically when the (transient)
+//                 snapshot leases drop — pending_at_end ~ 0 with zero
+//                 manual calls. Mops/s includes the full lease lifecycle
+//                 on the write path (writer gauges + generation closes).
+//   pinned+purge  one snapshot lease held across the whole window models
+//                 the old manual world: nothing reclaims until the end
+//                 (pending_at_end == everything retired), then the lease
+//                 drops and a force-purge empties the backlog. The Mops/s
+//                 delta vs lease-auto is the cost/benefit of in-window
+//                 reclamation.
+//
+// Columns (shared with part (a)): retired/freed/pending_at_end count shard
+// MAPS for part (b) (node counts for part (a)); `reshards` rides in the
+// structure cell as churn context.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "benchsupport/reporter.h"
 #include "nbbst/nb_bst.h"
+#include "shard/sharded_map.h"
 #include "util/table.h"
 
 namespace {
@@ -30,6 +59,120 @@ void run_one(Table& table, const char* policy, const BenchConfig& cfg) {
   }
 }
 
+// Part (b): writers vs continuous migration churn, with or without a
+// window-long snapshot lease pinning every retired generation. The churn
+// volume is a FIXED migration count (not a timed window) so the
+// retired/freed/pending columns are deterministic for the baseline diff;
+// only Mops/s is tolerance-compared.
+void run_reshard_churn(Table& table, bool pin_window, std::uint64_t churns,
+                       const BenchConfig& full_cfg) {
+  // A loss-free migration under full write pressure costs base-rebuild
+  // PLUS in-order replay of every write its window accepted, so the churn
+  // rows use a capped key range: at fig-scale ranges a single reshard
+  // stretches to seconds and the run measures allocator pressure, not the
+  // lease lifecycle.
+  BenchConfig cfg = full_cfg;
+  cfg.key_range = std::min<long>(cfg.key_range, 4096);
+  cfg.threads = std::min<unsigned>(cfg.threads, 2);
+  // Fixed per-writer op budget (not a free-running timed loop): bounded
+  // writer work bounds the migration/replay feedback, so the row's
+  // runtime cannot blow up when the scheduler starves the replayer.
+  const std::uint64_t ops_per_writer =
+      cfg.seconds >= 0.1 ? 250000 : 10000;
+  using Sharded = ShardedPnbMap<long, long, 8, RangeSplitter<long>>;
+  Sharded map(RangeSplitter<long>{0, cfg.key_range});
+  {  // prefill to steady density (single-threaded, pre-publication)
+    std::vector<std::pair<long, long>> items;
+    items.reserve(static_cast<std::size_t>(cfg.key_range) / 2);
+    for (long k = 0; k < cfg.key_range; k += 2) items.emplace_back(k, k);
+    map.bulk_load(std::move(items));
+  }
+  std::optional<Sharded::Snapshot> window_pin;
+  if (pin_window) window_pin.emplace(map.snapshot());
+
+  // Mixed 25i/25d/50f stream. The read share is load-bearing: a pure
+  // write stream on few cores produces ledger entries during a migration
+  // window about as fast as the replay drains them, so migrations stretch
+  // and the row measures the feedback loop instead of the lifecycle.
+  // Writers publish coarse progress (every kProgressGrain ops) so the
+  // churn below can pace itself against THEM, and each records its own
+  // finish time so Mops/s is measured over the writers' actual window —
+  // not over a wall-clock schedule both policies would satisfy equally.
+  constexpr std::uint64_t kProgressGrain = 256;
+  Timer timer;
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<std::uint64_t> last_done_us{0};
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    writers.emplace_back(
+        [&map, &cfg, &timer, &progress, &last_done_us, ops_per_writer, t] {
+          Xoshiro256 rng(thread_seed(cfg.seed, t));
+          for (std::uint64_t i = 0; i < ops_per_writer; ++i) {
+            const long k = static_cast<long>(rng.next_bounded(
+                static_cast<std::uint64_t>(cfg.key_range)));
+            switch (rng.next_bounded(4)) {
+              case 0:
+                map.insert(k, k);
+                break;
+              case 1:
+                map.erase(k);
+                break;
+              default:
+                map.contains(k);
+                break;
+            }
+            if ((i + 1) % kProgressGrain == 0) {
+              progress.fetch_add(kProgressGrain,
+                                 std::memory_order_relaxed);
+            }
+          }
+          progress.fetch_add(ops_per_writer % kProgressGrain,
+                             std::memory_order_relaxed);
+          const auto done =
+              static_cast<std::uint64_t>(timer.elapsed_ms() * 1000.0);
+          std::uint64_t prev = last_done_us.load(std::memory_order_relaxed);
+          while (prev < done && !last_done_us.compare_exchange_weak(
+                                    prev, done, std::memory_order_relaxed)) {
+          }
+        });
+  }
+
+  // Fire migration m when the writers have completed m/churns of their
+  // total op budget: the fixed churn volume stays deterministic for the
+  // baseline diff, and every migration overlaps live writer traffic.
+  const std::uint64_t total_ops = ops_per_writer * cfg.threads;
+  std::uint64_t maps_retired = 0;
+  for (std::uint64_t m = 0; m < churns; ++m) {
+    const std::uint64_t due = total_ops * m / churns;
+    while (progress.load(std::memory_order_relaxed) < due) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (m % 3 == 2) {
+      map.rebuild_shard(static_cast<std::size_t>(m) % 8);
+      maps_retired += 1;
+    } else {
+      const long hi = (m % 2 == 0) ? cfg.key_range : 2 * cfg.key_range;
+      map.reshard(RangeSplitter<long>{0, hi});
+      maps_retired += 8;
+    }
+  }
+  for (auto& th : writers) th.join();
+  const std::uint64_t ops = total_ops;
+  const double secs =
+      static_cast<double>(last_done_us.load(std::memory_order_relaxed)) /
+      1e6;
+
+  const std::size_t pending = map.retired_maps();
+  window_pin.reset();           // drop the window lease (auto-reclaims)
+  (void)map.purge_retired();    // manual world's final purge (no-op when
+                                // the lease lifecycle already drained)
+  const double mops =
+      static_cast<double>(ops) / 1e6 / (secs > 0 ? secs : 1);
+  table.add_row({"sharded-8", pin_window ? "pinned+purge" : "lease-auto",
+                 Table::num(mops, 3), Table::num(maps_retired),
+                 Table::num(maps_retired - pending), Table::num(pending)});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,7 +180,10 @@ int main(int argc, char** argv) {
   const bool smoke = smoke_mode(cli);
   BenchConfig base = config_from_cli(cli);
   base.threads = static_cast<unsigned>(cli.get_int("threads", smoke ? 2 : 4));
-  Reporter rep(cli, "Tab.E6", "reclamation policy ablation (50i/50d)");
+  Reporter rep(cli, "Tab.E6",
+               "reclamation ablation (50i/50d) + lease lifecycle churn");
+  const auto churns = static_cast<std::uint64_t>(
+      cli.get_int("churns", smoke ? 6 : 16));
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
     return 2;
@@ -56,6 +202,8 @@ int main(int argc, char** argv) {
       table, "epoch", base);
   run_one<NbBst<long, std::less<long>, LeakyReclaimer>, LeakyReclaimer>(
       table, "leaky", base);
+  run_reshard_churn(table, /*pin_window=*/false, churns, base);
+  run_reshard_churn(table, /*pin_window=*/true, churns, base);
   rep.emit(table);
   return 0;
 }

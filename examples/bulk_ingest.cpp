@@ -9,9 +9,14 @@
 //      merged snapshot scans and checks every observed pair.
 //   3. LIVE RESHARD — migrate the whole store to a wider routing function
 //      while the auditor keeps reading: readers see the pre- or
-//      post-reshard table, never a mix. (Writers are quiesced across the
-//      cutover, per the documented reshard contract: batches racing a
-//      reshard may be lost.)
+//      post-reshard table, never a mix, and any write racing the cutover
+//      is recorded in the migration's write-intent ledger and replayed —
+//      nothing acknowledged is lost (loss-free reshard contract,
+//      DESIGN.md §9).
+//   4. AUTO RECLAMATION — the maps the reshard replaced are pinned only as
+//      long as a pre-reshard snapshot lease exists; once the auditor's
+//      last snapshot drops, retired_maps() falls to 0 on its own. No
+//      purge_retired() call anywhere (it is test-only now).
 //
 //   build/examples/bulk_ingest [--keys=N] [--batches=N] [--batchsize=N]
 #include <atomic>
@@ -103,15 +108,18 @@ int main(int argc, char** argv) {
       batches, batch_size, batch_timer.elapsed_ms(), changed,
       audits.load());
 
-  // --- 3. live reshard (writers quiesced, reads keep flowing) ---------------
+  // --- 3. live reshard (reads AND the audit keep flowing) -------------------
   const std::size_t before = store.size();
   pnbbst::Timer reshard_timer;
   const std::size_t migrated =
       store.reshard(pnbbst::RangeSplitter<long>{0, keyspace}, IngestOptions(8));
   std::printf(
       "[reshard] migrated %zu entries to the [0, %ld) routing in %.1f ms; "
-      "reads never blocked\n",
+      "reads never blocked, racing writes replay from the intent ledger\n",
       migrated, keyspace, reshard_timer.elapsed_ms());
+  std::printf("[gc] retired shard maps right after cutover: %zu "
+              "(pinned by in-flight audit snapshots)\n",
+              store.retired_maps());
 
   stop.store(true, std::memory_order_release);
   auditor.join();
@@ -125,8 +133,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "VERIFY FAILED\n");
     return 1;
   }
-  const std::size_t purged = store.purge_retired();
-  std::printf("[gc] purge_retired freed %zu replaced shard maps\n", purged);
+  // --- 4. automatic reclamation --------------------------------------------
+  // The auditor's last snapshot lease is gone; the lifecycle manager has
+  // already handed every replaced map to the reclaimer by itself.
+  if (store.retired_maps() != 0) {
+    std::fprintf(stderr, "GC FAILED: %zu retired maps still held\n",
+                 store.retired_maps());
+    return 1;
+  }
+  std::puts("[gc] retired_maps() == 0 — reclaimed automatically, "
+            "no purge_retired() needed");
   std::puts("bulk_ingest done");
   return 0;
 }

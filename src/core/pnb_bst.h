@@ -46,6 +46,7 @@
 #include "core/tagged_update.h"
 #include "ingest/batch_apply.h"
 #include "ingest/bulk_build.h"
+#include "lifecycle/lifetime_manager.h"
 #include "reclaim/epoch.h"
 #include "reclaim/leaky.h"
 #include "reclaim/reclaimer.h"
@@ -70,7 +71,8 @@ class PnbBst {
   using bulk_item = Key;
   using batch_op = ingest::BatchOp<Key>;
 
-  explicit PnbBst(R& reclaimer = R::shared()) : reclaimer_(&reclaimer) {
+  explicit PnbBst(R& reclaimer = R::shared())
+      : reclaimer_(&reclaimer), lifetime_(reclaimer) {
     dummy_ = shared_dummy();
     // Initial tree (Fig. 2, line 31): Root(∞2) with leaves ∞1 and ∞2.
     root_ = new Internal;
@@ -355,7 +357,11 @@ class PnbBst {
   // A Snapshot freezes one phase and supports any number of point and range
   // queries against it, all mutually consistent. The handle holds an epoch
   // pin for its whole lifetime: destroy snapshots promptly, or memory
-  // reclamation stalls (documented limitation, DESIGN.md §6).
+  // reclamation stalls (documented limitation, DESIGN.md §6). It also
+  // holds a SnapshotLease on the tree's LifetimeManager — the uniform
+  // lifecycle registration every Snapshot in the stack carries (the
+  // sharded front-end uses the same mechanism to reclaim retired routing
+  // generations automatically; see src/lifecycle/lifetime_manager.h).
   class Snapshot {
    public:
     Snapshot(Snapshot&&) noexcept = default;
@@ -516,20 +522,27 @@ class PnbBst {
 
    private:
     friend class PnbBst;
-    Snapshot(PnbBst* tree, std::uint64_t seq, typename R::Guard&& guard)
-        : tree_(tree), seq_(seq), guard_(std::move(guard)) {}
+    Snapshot(PnbBst* tree, std::uint64_t seq, typename R::Guard&& guard,
+             lifecycle::SnapshotLease<R>&& lease)
+        : tree_(tree),
+          seq_(seq),
+          guard_(std::move(guard)),
+          lease_(std::move(lease)) {}
 
     PnbBst* tree_;
     std::uint64_t seq_;
     typename R::Guard guard_;
+    // Declared after guard_: the lease releases first, under the pin.
+    lifecycle::SnapshotLease<R> lease_;
   };
 
   Snapshot snapshot() {
     auto guard = reclaimer_->pin();
+    auto lease = lifetime_.acquire();
     stats_.inc_scans();
     const std::uint64_t seq =
         counter_.fetch_add(1, std::memory_order_seq_cst);
-    return Snapshot(this, seq, std::move(guard));
+    return Snapshot(this, seq, std::move(guard), std::move(lease));
   }
 
   // --- Parallel range queries (wait-free per chunk; src/scan/ engine) ------
@@ -648,6 +661,10 @@ class PnbBst {
   Stats& stats() noexcept { return stats_; }
   const Stats& stats() const noexcept { return stats_; }
   R& reclaimer() noexcept { return *reclaimer_; }
+
+  // Snapshot-lease lifecycle registry (src/lifecycle/): every Snapshot of
+  // this tree holds one of its leases; the gauges expose how many are live.
+  lifecycle::LifetimeManager<R>& lifetime() noexcept { return lifetime_; }
 
   // Current phase number (number of scans started so far).
   std::uint64_t phase() const noexcept {
@@ -1039,6 +1056,7 @@ class PnbBst {
 
   [[no_unique_address]] ExtKeyLess<Key, Compare> less_{};
   R* reclaimer_;
+  lifecycle::LifetimeManager<R> lifetime_;
   Internal* root_ = nullptr;
   Info* dummy_ = nullptr;
   alignas(kCacheLine) std::atomic<std::uint64_t> counter_{0};

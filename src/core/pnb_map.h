@@ -401,6 +401,12 @@ class PnbMap {
   Stats& stats() noexcept { return tree_.stats(); }
   Tree& underlying() noexcept { return tree_; }
 
+  // Lifecycle registry of the underlying tree: every Snapshot of this map
+  // holds one of its SnapshotLeases (via the wrapped tree snapshot).
+  lifecycle::LifetimeManager<R>& lifetime() noexcept {
+    return tree_.lifetime();
+  }
+
  private:
   static std::optional<std::pair<K, V>> to_pair(std::optional<Entry>&& e) {
     if (!e) return std::nullopt;

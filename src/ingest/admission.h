@@ -1,0 +1,55 @@
+// Ingest admission control: backpressure batches when reclamation lags.
+//
+// Retired-but-unreclaimed generations (old routing tables and replaced
+// shard maps pinned by snapshot leases — src/lifecycle/) cost memory. A
+// batch stream that outruns reclamation can grow that debt without bound:
+// every reshard under churn retires another generation, and long-lived
+// snapshots keep them all alive. AdmissionConfig caps the debt: when the
+// owning container's LifetimeManager reports retired_bytes() above the
+// watermark, batch admission backpressures until reclamation catches up —
+// either by blocking (bounded by block_timeout) or by returning the batch
+// unapplied with BatchResult::deferred set, the caller's cue to retry
+// after dropping snapshots / easing the reshard cadence.
+//
+// Only batch admission is throttled. Point operations stay non-blocking:
+// a single op's memory footprint is bounded, and throttling the lock-free
+// paths would break the structure's progress guarantees for no gain.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+namespace pnbbst::ingest {
+
+struct AdmissionConfig {
+  enum class OverLimit {
+    kBlock,  // wait (up to block_timeout) for the gauge to fall, then defer
+    kDefer,  // return immediately with the batch counted as deferred
+  };
+
+  // Retired-generation bytes above which batch admission backpressures.
+  // The default never throttles.
+  std::size_t retired_bytes_watermark = std::numeric_limits<std::size_t>::max();
+  OverLimit policy = OverLimit::kBlock;
+  std::chrono::milliseconds block_timeout{1000};
+
+  bool unlimited() const noexcept {
+    return retired_bytes_watermark ==
+           std::numeric_limits<std::size_t>::max();
+  }
+};
+
+// Admission gate shared by the batch surfaces: returns true when the batch
+// may proceed. `gauge()` reads the container's retired-bytes gauge;
+// `wait(limit, timeout)` blocks until the gauge is <= limit or the timeout
+// passes (LifetimeManager::wait_retired_bytes_below has this shape).
+template <class GaugeFn, class WaitFn>
+bool admit_batch(const AdmissionConfig& cfg, GaugeFn&& gauge, WaitFn&& wait) {
+  if (cfg.unlimited() || gauge() <= cfg.retired_bytes_watermark) return true;
+  if (cfg.policy == AdmissionConfig::OverLimit::kDefer) return false;
+  return wait(cfg.retired_bytes_watermark, cfg.block_timeout);
+}
+
+}  // namespace pnbbst::ingest

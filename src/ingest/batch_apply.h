@@ -85,13 +85,20 @@ struct BatchResult {
   std::size_t applied = 0;   // ops issued after keep-last dedup
   std::size_t inserted = 0;  // inserts that added a key
   std::size_t erased = 0;    // erases that removed a key
+  // Ops NOT applied because admission control backpressured the batch
+  // (retired-generation memory above the watermark — ingest/admission.h).
+  // A deferred batch left the structure untouched; retry it once the
+  // retired-bytes gauge falls.
+  std::size_t deferred = 0;
 
   std::size_t changed() const noexcept { return inserted + erased; }
+  bool admitted() const noexcept { return deferred == 0; }
 
   BatchResult& operator+=(const BatchResult& o) noexcept {
     applied += o.applied;
     inserted += o.inserted;
     erased += o.erased;
+    deferred += o.deferred;
     return *this;
   }
 };
@@ -130,6 +137,34 @@ BatchResult apply_runs(std::vector<Op>& ops, const IngestOptions& opts,
   });
   for (const BatchResult& p : parts) total += p;
   return total;
+}
+
+// Applies recorded ops IN ORDER, without normalization — the replay
+// primitive for migration write-intent ledgers (shard/sharded_map.h).
+//
+// Why keep-last dedup would be WRONG here: insert is insert-if-absent, so
+// the op that takes effect on a key is the FIRST insert while the key is
+// absent, not the last. A ledger [insert(k,v1), insert(k,v2)] acknowledged
+// v1 on the source structure; keep-last replay would install v2 in the
+// rebuilt one. An assign is recorded as its erase+insert pair, which
+// keep-last would collapse into a bare insert-if-absent (a no-op when the
+// rebuilt tree already holds the key's pre-assign value — losing the
+// assignment). In-order replay reproduces the recorded outcome exactly;
+// `target` is a fresh still-private or single-writer structure, so plain
+// sequential application is both correct and cheap (ledgers are small —
+// they only hold ops accepted during one migration window).
+template <class K, class V, class Target>
+BatchResult apply_ordered(Target& target, std::vector<BatchOp<K, V>>& ops) {
+  BatchResult r;
+  for (BatchOp<K, V>& op : ops) {
+    if (op.kind == BatchOpKind::kInsert) {
+      r.inserted += target.insert(std::move(op.key), std::move(op.value));
+    } else {
+      r.erased += target.erase(op.key);
+    }
+    ++r.applied;
+  }
+  return r;
 }
 
 }  // namespace pnbbst::ingest

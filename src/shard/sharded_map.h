@@ -24,10 +24,56 @@
 // (splitter, shards) pair — there is no window where a key routes with the
 // new splitter into an old shard or vice versa. reshard()/rebuild_shard()
 // build replacement maps offline (snapshot-scan → bulk_build) and cut over
-// by swapping that one pointer. Replaced tables and maps are kept on an
-// internal retire list (snapshots and in-flight operations may still
-// reference them) and freed in the destructor or by purge_retired() under
-// quiescence.
+// by swapping that one pointer.
+//
+// Snapshot-lease lifecycle (src/lifecycle/lifetime_manager.h)
+// -----------------------------------------------------------
+// Replaced tables and maps are NOT freed manually. At every cutover they
+// are attached to the closing generation of a per-container
+// LifetimeManager; every composite Snapshot holds a SnapshotLease on that
+// manager, and in-flight point operations hold an epoch pin across their
+// table load. When the last lease covering a retired generation drops,
+// its resources are handed to the epoch reclaimer automatically (the
+// retired_maps()/retired_bytes() gauges fall at that point) and freed
+// after the grace period that covers any still-pinned operation. The
+// happy path therefore never calls purge_retired(); it remains only as a
+// test-only force-purge under full quiescence.
+//
+// Loss-free reshard contract (reshard / rebuild_shard)
+// ----------------------------------------------------
+//   * READS stay safe and table-consistent throughout: an operation runs
+//     entirely against the table it loaded — either the pre-reshard or the
+//     post-reshard world, never a mix — so a concurrent reader observes no
+//     duplicated and no mis-routed keys. Memory stays valid via the lease
+//     lifecycle above.
+//   * WRITES racing a migration are NOT lost. A migration publishes an
+//     intermediate table generation carrying a write-intent ledger; every
+//     write accepted on a migrating shard during the migration window is
+//     recorded (under a short per-shard ledger lock) before it is applied
+//     to the pre-reshard world, and the recorded ops are replayed IN ORDER
+//     into the replacement maps before the atomic cutover. Writers that
+//     arrive after the ledger closes re-route themselves to the new table.
+//     Residual weakening, documented: during the window, writes on
+//     migrating shards take that short ledger lock (the non-blocking
+//     guarantee is relaxed for the window's duration, never outside it),
+//     and two *racing* writes to the SAME key may resolve in recorded
+//     order rather than the pre-reshard world's internal order — any
+//     per-key single-writer discipline observes exact loss-freedom
+//     (asserted by tests/test_reshard_concurrent.cpp).
+//   * reshard() changes the routing function; the shard *count* is a
+//     template parameter and fixed for the instance's lifetime.
+//   * Snapshots taken before a cutover stay valid and keep answering from
+//     the pre-reshard world (their lease pins the retired generation).
+//   * reshard() and rebuild_shard() serialize against each other on an
+//     internal mutex; they never block readers.
+//
+// Ingest admission control (src/ingest/admission.h)
+// -------------------------------------------------
+// apply_batch consults the container's AdmissionConfig: when
+// retired_bytes() exceeds the configured watermark (snapshot leases are
+// holding too many retired generations alive), the batch blocks until
+// reclamation catches up or returns with BatchResult::deferred set.
+// Point operations are never throttled.
 //
 // Cross-shard consistency contract
 // --------------------------------
@@ -51,36 +97,17 @@
 //     fully linearizable.
 //   * assign keeps PnbMap's documented non-atomicity on top of this.
 //
-// Reshard contract (reshard / rebuild_shard)
-// ------------------------------------------
-//   * READS stay safe and table-consistent throughout: an operation runs
-//     entirely against the table it loaded — either the pre-reshard or the
-//     post-reshard world, never a mix — so a concurrent reader observes no
-//     duplicated and no mis-routed keys. Memory stays valid because
-//     replaced tables/maps are retired, not freed.
-//   * WRITES concurrent with a reshard may be LOST: the rebuild bulk-loads
-//     from snapshots, so an update that lands on the old table after its
-//     shard's migration snapshot is discarded at cutover (readers may even
-//     observe the update and then stop observing it once the new table is
-//     published). Quiesce writers across reshard()/rebuild_shard() for a
-//     loss-free migration; reads need no quiescing.
-//   * reshard() changes the routing function; the shard *count* is a
-//     template parameter and fixed for the instance's lifetime.
-//   * Snapshots taken before a reshard stay valid and keep answering from
-//     the pre-reshard world (they reference the retired table).
-//   * reshard() and rebuild_shard() serialize against each other on an
-//     internal mutex; they never block readers or single-key writers.
-//
 // The per-shard wait-freedom bound is preserved: a merged scan performs
 // NumShards wait-free scans plus a bounded merge, so it cannot be starved
 // by concurrent updates.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <optional>
 #include <type_traits>
@@ -89,8 +116,11 @@
 
 #include "core/concepts.h"
 #include "core/pnb_map.h"
+#include "ingest/admission.h"
 #include "ingest/batch_apply.h"
+#include "lifecycle/lifetime_manager.h"
 #include "scan/parallel_scan.h"
+#include "util/backoff.h"
 #include "util/random.h"
 
 namespace pnbbst {
@@ -162,7 +192,8 @@ template <class K, class V, std::size_t NumShards = 8,
 class ShardedPnbMap {
   static_assert(NumShards >= 1, "at least one shard");
 
-  struct Table;  // routing generation; defined with the private members
+  struct Table;           // routing generation; defined with private members
+  struct MigrationState;  // write-intent ledgers of an in-flight migration
 
  public:
   using key_type = K;
@@ -173,39 +204,92 @@ class ShardedPnbMap {
   using batch_op = ingest::BatchOp<K, V>;
   static constexpr std::size_t kNumShards = NumShards;
 
+ private:
+  // One shard: the per-shard map plus its in-flight writer gauge. The
+  // gauge lives on the SHARD, not the routing table, deliberately: a
+  // long-running batch entered through table generation g keeps writing
+  // to its map while later generations g+1, g+2, ... are published (the
+  // map pointer is shared forward by rebuilds), so a migration must wait
+  // on the data it is about to snapshot — the map — not on whichever
+  // table the writer happened to enter through.
+  struct Shard {
+    explicit Shard(R& r) : map(r) {}
+    Map map;
+    std::atomic<std::uint32_t> writers{0};
+  };
+
+ public:
   explicit ShardedPnbMap(Splitter splitter = Splitter{},
                          R& reclaimer = R::shared())
-      : reclaimer_(&reclaimer) {
-    auto table = std::make_unique<Table>();
+      : reclaimer_(&reclaimer), lifetime_(reclaimer) {
+    auto* table = new Table;
     table->splitter = std::move(splitter);
     for (std::size_t i = 0; i < NumShards; ++i) {
-      maps_.push_back(std::make_unique<Map>(reclaimer));
-      table->shards[i] = maps_.back().get();
+      table->shards[i] = new Shard(reclaimer);
     }
-    table_.store(table.get(), std::memory_order_release);
-    tables_.push_back(std::move(table));
+    table_.store(table, std::memory_order_release);
   }
 
   ShardedPnbMap(const ShardedPnbMap&) = delete;
   ShardedPnbMap& operator=(const ShardedPnbMap&) = delete;
 
+  // Destruction assumes quiescence: no concurrent operations and no live
+  // Snapshot handles. The current generation is freed here; retired
+  // generations still held by the LifetimeManager are freed by its
+  // destructor (resources already handed to the reclaimer are on the
+  // reclaimer's schedule, as everywhere else).
+  ~ShardedPnbMap() {
+    const Table* table = table_.load(std::memory_order_acquire);
+    for (Shard* sh : table->shards) delete sh;
+    delete table;
+  }
+
   // --- Point operations (single shard, fully linearizable) -----------------
 
   bool insert(K k, V v) {
-    Map& s = shard(k);
-    return s.insert(std::move(k), std::move(v));
+    return routed_write(
+        k,
+        [&](std::vector<batch_op>& ledger) {
+          ledger.push_back(batch_op::insert(k, v));
+        },
+        [&](Map& m) { return m.insert(std::move(k), std::move(v)); });
   }
 
-  bool erase(const K& k) { return shard(k).erase(k); }
-  bool contains(const K& k) { return shard(k).contains(k); }
-  std::optional<V> get(const K& k) { return shard(k).get(k); }
+  bool erase(const K& k) {
+    return routed_write(
+        k,
+        [&](std::vector<batch_op>& ledger) {
+          ledger.push_back(batch_op::erase(k));
+        },
+        [&](Map& m) { return m.erase(k); });
+  }
+
+  bool contains(const K& k) {
+    auto guard = reclaimer_->pin();
+    return shard(k).contains(k);
+  }
+  std::optional<V> get(const K& k) {
+    auto guard = reclaimer_->pin();
+    return shard(k).get(k);
+  }
   V get_or(const K& k, V fallback) {
+    auto guard = reclaimer_->pin();
     return shard(k).get_or(k, std::move(fallback));
   }
 
   // Erase+insert on the owning shard; inherits PnbMap::assign's documented
-  // non-atomicity (a reader may observe the key briefly absent).
-  bool assign(const K& k, const V& v) { return shard(k).assign(k, v); }
+  // non-atomicity (a reader may observe the key briefly absent). During a
+  // migration the intent is recorded as its erase+insert pair, replayed in
+  // order, so the assignment survives the cutover.
+  bool assign(const K& k, const V& v) {
+    return routed_write(
+        k,
+        [&](std::vector<batch_op>& ledger) {
+          ledger.push_back(batch_op::erase(k));
+          ledger.push_back(batch_op::insert(k, v));
+        },
+        [&](Map& m) { return m.assign(k, v); });
+  }
 
   // --- Merged range queries (see consistency contract above) ---------------
 
@@ -273,7 +357,8 @@ class ShardedPnbMap {
   // batch skewed onto few shards still fans out within them while the
   // executor width bounds total parallelism. Duplicate keys keep the LAST
   // pair. Same single-writer precondition as PnbMap::bulk_load, for the
-  // whole instance: fresh, empty, still-private.
+  // whole instance: fresh, empty, still-private (hence no migration or
+  // admission machinery on this path).
   std::size_t bulk_load(std::vector<bulk_item> items,
                         const ingest::IngestOptions& opts = {}) {
     const Table* table = table_.load(std::memory_order_acquire);
@@ -284,85 +369,146 @@ class ShardedPnbMap {
     }
     std::array<std::size_t, NumShards> counts{};
     scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
-      counts[i] = table->shards[i]->bulk_load(std::move(routed[i]), opts);
+      counts[i] = table->shards[i]->map.bulk_load(std::move(routed[i]), opts);
     });
     std::size_t total = 0;
     for (std::size_t c : counts) total += c;
     return total;
   }
 
-  // Batched updates against the LIVE sharded map: ops are routed per shard
-  // with one consistent table load, then every non-empty shard batch is
-  // applied as one executor task (each shard batch sorts, dedups last-wins,
-  // and issues its ops through the ordinary lock-free paths; the full
-  // options cascade so skewed batches still parallelize within their
-  // shards). Per-op linearizability is per shard, exactly as for single
-  // ops; the batch as a whole is not atomic. Ops concurrent with a reshard
-  // may be lost (see the reshard contract above).
+  // Batched updates against the LIVE sharded map: ops are normalized once
+  // (keep-last), routed per shard with one consistent table load, then
+  // every non-empty shard batch is applied as one executor task through
+  // the ordinary lock-free paths (full options cascade, so skewed batches
+  // still parallelize within their shards). Per-op linearizability is per
+  // shard, exactly as for single ops; the batch as a whole is not atomic.
+  //
+  // Interactions with this PR's lifecycle machinery:
+  //   * ADMISSION — if retired-generation memory exceeds the configured
+  //     watermark (set_admission), the batch blocks until reclamation
+  //     catches up or returns untouched with `deferred = ops.size()`.
+  //   * MIGRATION — shard batches racing a reshard are recorded in the
+  //     write-intent ledger exactly like single ops, so they are NOT lost;
+  //     a shard batch that loses its table to a cutover re-routes itself
+  //     under the new splitter and retries.
   ingest::BatchResult apply_batch(std::vector<batch_op> ops,
                                   const ingest::IngestOptions& opts = {}) {
-    const Table* table = table_.load(std::memory_order_acquire);
-    std::array<std::vector<batch_op>, NumShards> routed;
-    for (batch_op& op : ops) {
-      routed[table->splitter.shard_of(op.key, NumShards)].push_back(
-          std::move(op));
-    }
-    std::array<ingest::BatchResult, NumShards> parts{};
-    scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
-      if (routed[i].empty()) return;
-      parts[i] = table->shards[i]->apply_batch(std::move(routed[i]), opts);
-    });
     ingest::BatchResult total;
-    for (const ingest::BatchResult& p : parts) total += p;
+    if (ops.empty()) return total;
+    if (!ingest::admit_batch(
+            admission(),
+            [this] { return lifetime_.retired_bytes(); },
+            [this](std::size_t limit, std::chrono::milliseconds timeout) {
+              return lifetime_.wait_retired_bytes_below(limit, timeout);
+            })) {
+      total.deferred = ops.size();
+      return total;
+    }
+    // Normalize up front so the ledger records exactly the ops that get
+    // applied (one op per key, last wins); the per-shard re-normalization
+    // inside Map::apply_batch is then a cheap no-op re-sort.
+    ingest::normalize_batch(ops, [cmp = Compare{}](const K& a, const K& b) {
+      return cmp(a, b);
+    });
+    // The caller's pin spans the whole fan-out (run_tasks participates),
+    // so the loaded table outlives every worker's dereference of it.
+    auto guard = reclaimer_->pin();
+    std::vector<batch_op> pending = std::move(ops);
+    while (!pending.empty()) {
+      const Table* t = table_.load(std::memory_order_seq_cst);
+      std::array<std::vector<batch_op>, NumShards> routed;
+      for (batch_op& op : pending) {
+        routed[t->splitter.shard_of(op.key, NumShards)].push_back(
+            std::move(op));
+      }
+      pending.clear();
+      std::array<ingest::BatchResult, NumShards> parts{};
+      std::array<std::vector<batch_op>, NumShards> retry;
+      scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t s) {
+        if (routed[s].empty()) return;
+        const WriteAdmit a =
+            admit_write(t, s, [&](std::vector<batch_op>& ledger) {
+              ledger.insert(ledger.end(), routed[s].begin(),
+                            routed[s].end());
+            });
+        if (a == WriteAdmit::kRetry) {
+          retry[s] = std::move(routed[s]);
+          return;
+        }
+        parts[s] = t->shards[s]->map.apply_batch(std::move(routed[s]), opts);
+        if (a == WriteAdmit::kCounted) exit_writer(t, s);
+      });
+      for (const ingest::BatchResult& p : parts) total += p;
+      // A cutover moved the table mid-batch: re-route the bounced shard
+      // batches under the (possibly new) splitter and go again. Bounded
+      // in practice by the number of concurrent migrations, which
+      // serialize on reshard_mutex_.
+      for (std::vector<batch_op>& r : retry) {
+        for (batch_op& op : r) pending.push_back(std::move(op));
+      }
+    }
     return total;
   }
 
-  // --- Resharding (see the reshard contract above) --------------------------
+  // --- Resharding (loss-free; see the contract above) -----------------------
 
-  // Rebuilds shard i as a freshly bulk-built, perfectly balanced tree whose
-  // contents are the shard's snapshot at the call. Readers are undisturbed
-  // (atomic table cutover); writes racing the rebuild on THIS shard may be
-  // lost. Returns the number of entries in the rebuilt shard.
+  // Rebuilds shard i as a freshly bulk-built, perfectly balanced tree.
+  // Readers are undisturbed (atomic table cutover); writes racing the
+  // rebuild are recorded in the shard's write-intent ledger and replayed
+  // into the fresh tree before the cutover — nothing acknowledged is lost.
+  // Returns the number of entries in the rebuild's base snapshot (ledger
+  // replay may add more by the time the cutover publishes).
   std::size_t rebuild_shard(std::size_t i,
                             const ingest::IngestOptions& opts = {}) {
     std::lock_guard<std::mutex> lock(reshard_mutex_);
-    const Table* old_table = table_.load(std::memory_order_acquire);
+    auto guard = reclaimer_->pin();
+    const Table* t_old = table_.load(std::memory_order_acquire);
+    auto* mig = new MigrationState(i, i + 1);
+    auto* t_m = publish_migration(t_old, mig);
+    drain_writers(t_old, i, i + 1);
     std::vector<bulk_item> items;
     {
-      auto snap = old_table->shards[i]->snapshot();
+      auto snap = t_m->shards[i]->map.snapshot();
       items.reserve(snap.size());
       snap.visit_all([&items](const K& k, const V& v) {
         items.emplace_back(k, v);
       });
     }
-    auto fresh = std::make_unique<Map>(*reclaimer_);
-    const std::size_t n = fresh->bulk_load(std::move(items), opts);
-    auto table = std::make_unique<Table>(*old_table);
-    table->shards[i] = fresh.get();
-    maps_.push_back(std::move(fresh));
-    publish(std::move(table));
+    const std::size_t n = items.size();
+    auto* fresh = new Shard(*reclaimer_);
+    fresh->map.bulk_load(std::move(items), opts);
+    auto* t_new = new Table(*t_m);
+    t_new->shards[i] = fresh;
+    finish_migration(t_old, t_m, mig, t_new, {{t_m->shards[i], n}});
     return n;
   }
 
   // Migrates the whole map to a new routing function: snapshot every shard
-  // (sequentially, same contract as a merged scan), partition the union by
+  // (sequentially, same structure as a merged scan), partition the union by
   // the new splitter, bulk-build NumShards fresh balanced shard trees in
-  // parallel, and cut over atomically. Returns the number of entries
-  // migrated. Readers see pre- or post-reshard state, never a mix; writes
-  // racing the migration may be lost (contract above).
+  // parallel, replay the write-intent ledgers, and cut over atomically.
+  // Returns the number of entries in the migration's base snapshots.
+  // Readers see pre- or post-reshard state, never a mix; racing writes are
+  // recorded and replayed (contract above).
   std::size_t reshard(Splitter new_splitter,
                       const ingest::IngestOptions& opts = {}) {
     std::lock_guard<std::mutex> lock(reshard_mutex_);
-    const Table* old_table = table_.load(std::memory_order_acquire);
-    // Snapshot every shard first (sequentially, ascending — the same
-    // structure as a merged scan), then reserve once for the whole union
-    // before extracting.
+    auto guard = reclaimer_->pin();
+    const Table* t_old = table_.load(std::memory_order_acquire);
+    auto* mig = new MigrationState(0, NumShards);
+    auto* t_m = publish_migration(t_old, mig);
+    drain_writers(t_old, 0, NumShards);
+    // Snapshot every shard (sequentially, ascending — the same structure
+    // as a merged scan), then reserve once for the whole union before
+    // extracting.
     std::vector<typename Map::Snapshot> snaps;
     snaps.reserve(NumShards);
+    std::array<std::size_t, NumShards> old_entries{};
     std::size_t union_size = 0;
     for (std::size_t i = 0; i < NumShards; ++i) {
-      snaps.push_back(old_table->shards[i]->snapshot());
-      union_size += snaps.back().size();
+      snaps.push_back(t_m->shards[i]->map.snapshot());
+      old_entries[i] = snaps.back().size();
+      union_size += old_entries[i];
     }
     std::vector<bulk_item> items;
     items.reserve(union_size);
@@ -373,54 +519,33 @@ class ShardedPnbMap {
     }
     snaps.clear();  // release the per-shard pins before the parallel build
     const std::size_t total = items.size();
-    auto table = std::make_unique<Table>();
-    table->splitter = std::move(new_splitter);
+    auto* t_new = new Table;
+    t_new->splitter = std::move(new_splitter);
     std::array<std::vector<bulk_item>, NumShards> routed;
     for (bulk_item& it : items) {
-      routed[table->splitter.shard_of(it.first, NumShards)].push_back(
+      routed[t_new->splitter.shard_of(it.first, NumShards)].push_back(
           std::move(it));
     }
-    std::array<std::unique_ptr<Map>, NumShards> fresh;
     scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
-      fresh[i] = std::make_unique<Map>(*reclaimer_);
-      fresh[i]->bulk_load(std::move(routed[i]), opts);
+      auto* fresh = new Shard(*reclaimer_);
+      fresh->map.bulk_load(std::move(routed[i]), opts);
+      t_new->shards[i] = fresh;
     });
+    std::vector<std::pair<Shard*, std::size_t>> replaced;
+    replaced.reserve(NumShards);
     for (std::size_t i = 0; i < NumShards; ++i) {
-      table->shards[i] = fresh[i].get();
-      maps_.push_back(std::move(fresh[i]));
+      replaced.emplace_back(t_m->shards[i], old_entries[i]);
     }
-    publish(std::move(table));
+    finish_migration(t_old, t_m, mig, t_new, std::move(replaced));
     return total;
   }
 
-  // Frees maps and tables replaced by earlier reshard()/rebuild_shard()
-  // calls. PRECONDITION: full quiescence — no concurrent operations and no
-  // live Snapshot handles taken before the last cutover (both may still
-  // reference retired tables/maps). Returns the number of maps freed.
-  std::size_t purge_retired() {
-    std::lock_guard<std::mutex> lock(reshard_mutex_);
-    const Table* current = table_.load(std::memory_order_acquire);
-    std::size_t freed = 0;
-    std::vector<std::unique_ptr<Map>> live_maps;
-    for (auto& m : maps_) {
-      bool referenced = false;
-      for (std::size_t i = 0; i < NumShards; ++i) {
-        if (current->shards[i] == m.get()) referenced = true;
-      }
-      if (referenced) {
-        live_maps.push_back(std::move(m));
-      } else {
-        ++freed;  // unique_ptr reset by vector drop below
-      }
-    }
-    maps_ = std::move(live_maps);
-    std::vector<std::unique_ptr<const Table>> live_tables;
-    for (auto& t : tables_) {
-      if (t.get() == current) live_tables.push_back(std::move(t));
-    }
-    tables_ = std::move(live_tables);
-    return freed;
-  }
+  // TEST-ONLY force purge of retired generations. PRECONDITION: full
+  // quiescence — no concurrent operations and no live Snapshot handles.
+  // The happy path never needs this: retired generations reclaim
+  // themselves when their last covering snapshot lease drops. Returns the
+  // number of maps freed.
+  std::size_t purge_retired() { return lifetime_.force_purge(); }
 
   // --- Snapshots -----------------------------------------------------------
 
@@ -428,8 +553,10 @@ class ShardedPnbMap {
   // order. Queries against it are mutually consistent per shard (and
   // repeatable: the same Snapshot always answers the same), but the shard
   // snapshots belong to different per-shard phases — see the contract above.
-  // The handle references the routing table current at creation, so it
-  // keeps answering from the pre-reshard world across a reshard.
+  // The handle references the routing table current at creation and holds a
+  // SnapshotLease on the owning map's LifetimeManager, so it keeps
+  // answering from the pre-reshard world across a reshard and the retired
+  // generation it references is reclaimed when the last such lease drops.
   class Snapshot {
    public:
     bool contains(const K& k) const {
@@ -551,6 +678,9 @@ class ShardedPnbMap {
       return out;
     }
 
+    // Lifecycle generation this snapshot's lease pins (see lifetime()).
+    std::uint64_t generation() const noexcept { return lease_.generation(); }
+
    private:
     friend class ShardedPnbMap;
     struct ShardSnap {
@@ -559,8 +689,12 @@ class ShardedPnbMap {
     };
 
     Snapshot(const ShardedPnbMap* owner, const Table* table,
+             lifecycle::SnapshotLease<R>&& lease,
              std::vector<ShardSnap>&& snaps)
-        : owner_(owner), table_(table), snaps_(std::move(snaps)) {}
+        : owner_(owner),
+          table_(table),
+          lease_(std::move(lease)),
+          snaps_(std::move(snaps)) {}
 
     // Snapshot of the shard owning k — routed by the snapshot's own table,
     // so a reshard cannot re-route a live snapshot — or nullptr when k's
@@ -575,72 +709,333 @@ class ShardedPnbMap {
 
     const ShardedPnbMap* owner_;
     const Table* table_;
+    // Declared before snaps_: the per-shard snapshots (which reference the
+    // leased generation's maps) are destroyed first, the lease last.
+    lifecycle::SnapshotLease<R> lease_;
     std::vector<ShardSnap> snaps_;
   };
 
   // Snapshot covering all shards.
   Snapshot snapshot() {
+    // Lease BEFORE the table load: any table current after the acquire can
+    // only retire at a generation close our lease gates, so the handle's
+    // world stays reachable for its whole lifetime.
+    auto lease = lifetime_.acquire();
     const Table* table = table_.load(std::memory_order_acquire);
-    return snapshot_shards(table, 0, NumShards);
+    return snapshot_shards(table, 0, NumShards, std::move(lease));
   }
 
   // --- Introspection --------------------------------------------------------
 
+  // Direct reference into the current routing generation, for tests and
+  // debugging. CONTRACT (narrowed by the PR-5 auto-reclamation): the
+  // reference is only guaranteed while no reshard()/rebuild_shard() runs
+  // concurrently or afterwards — a cutover retires the shard it replaces,
+  // and with no snapshot lease pinning it the memory is reclaimed
+  // automatically (there is no purge_retired() event to wait for
+  // anymore). Quiescent/introspection use only; live code goes through
+  // the point ops or a Snapshot.
   Map& shard_ref(std::size_t i) {
-    return *table_.load(std::memory_order_acquire)->shards[i];
+    auto guard = reclaimer_->pin();
+    return table_.load(std::memory_order_acquire)->shards[i]->map;
   }
-  // The current routing function. The reference stays valid until the next
-  // purge_retired()/destruction, but a reshard can make it stale —
-  // introspection use only.
-  const Splitter& splitter() const noexcept {
+  // Copy of the current routing function (by value: the table it lives in
+  // can be reclaimed right after a cutover, so a reference would dangle).
+  // A reshard can make the copy stale — introspection use only; take a
+  // Snapshot for a stable routed view.
+  Splitter splitter() const {
+    auto guard = reclaimer_->pin();
     return table_.load(std::memory_order_acquire)->splitter;
   }
   std::size_t shard_of(const K& k) const {
+    auto guard = reclaimer_->pin();
     return table_.load(std::memory_order_acquire)
         ->splitter.shard_of(k, NumShards);
   }
-  // Maps retained for retired tables (0 until the first reshard).
-  std::size_t retired_maps() const {
-    std::lock_guard<std::mutex> lock(reshard_mutex_);
-    return maps_.size() - NumShards;
+  // Shard count is a template constant; surfaced for generic callers.
+  static constexpr std::size_t shard_count() noexcept { return NumShards; }
+
+  // Retired-generation gauges, read lock-free off the LifetimeManager (no
+  // side fields, no mutex — the manager's counters are the single source
+  // of truth, updated atomically with retirement and reclamation).
+  std::size_t retired_maps() const noexcept {
+    return lifetime_.retired_objects();
+  }
+  std::size_t retired_bytes() const noexcept {
+    return lifetime_.retired_bytes();
+  }
+
+  // Snapshot-lease lifecycle registry for this container (active_leases,
+  // current_generation, wait_retired_bytes_below, ...).
+  lifecycle::LifetimeManager<R>& lifetime() noexcept { return lifetime_; }
+  const lifecycle::LifetimeManager<R>& lifetime() const noexcept {
+    return lifetime_;
+  }
+
+  // Admission-control policy consulted by apply_batch (ingest/admission.h).
+  // Safe to call while batches are in flight: the config is guarded by a
+  // small mutex and each apply_batch snapshots it once on entry.
+  void set_admission(const ingest::AdmissionConfig& cfg) {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    admission_ = cfg;
+  }
+  ingest::AdmissionConfig admission() const {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    return admission_;
   }
 
  private:
   // One immutable (splitter, shards) routing generation. Published through
   // table_; operations load it once and stay internally consistent.
+  // `migration` (non-null only on the intermediate generation a migration
+  // publishes) is the single extra field; the writer gauges live on the
+  // Shard objects, which tables share forward across rebuilds.
   struct Table {
+    Table() = default;
+    Table(const Table& o) : splitter(o.splitter), shards(o.shards) {}
+    Table& operator=(const Table&) = delete;
+
     Splitter splitter{};
-    std::array<Map*, NumShards> shards{};
+    std::array<Shard*, NumShards> shards{};
+    MigrationState* migration = nullptr;
   };
 
+  // Write-intent ledgers of one in-flight migration, covering shards
+  // [first, last). A writer on a covered shard records its op(s) under the
+  // shard's ledger lock before applying them to the pre-migration world;
+  // the migration replays every recorded op in order into the replacement
+  // maps before the cutover, then closes the ledger (open = false) under
+  // the locks — a writer observing the closed ledger re-routes itself to
+  // the already-published new table.
+  struct MigrationState {
+    MigrationState(std::size_t f, std::size_t l) : first(f), last(l) {}
+
+    bool covers(std::size_t s) const noexcept {
+      return s >= first && s < last;
+    }
+
+    struct Ledger {
+      std::mutex mu;
+      std::vector<batch_op> ops;  // guarded by mu; recorded in accept order
+    };
+
+    std::size_t first;
+    std::size_t last;
+    std::array<Ledger, NumShards> ledgers;
+    std::atomic<bool> open{true};
+  };
+
+  // Routes replayed ledger ops through the NEW table's splitter: a reshard
+  // changes key→shard ownership, so an op recorded under the old routing
+  // must find its key's new home. The fresh maps are private to the
+  // migration until the cutover publishes them (plus late re-routed
+  // writers, which are ordinary concurrent traffic for a live PnbMap).
+  struct ReplayRouter {
+    const Table* target;
+    bool insert(K k, V v) {
+      Shard* sh = target->shards[target->splitter.shard_of(k, NumShards)];
+      return sh->map.insert(std::move(k), std::move(v));
+    }
+    bool erase(const K& k) {
+      Shard* sh = target->shards[target->splitter.shard_of(k, NumShards)];
+      return sh->map.erase(k);
+    }
+  };
+
+  // --- Writer protocol ------------------------------------------------------
+  //
+  // Every write enters its shard's writer gauge and re-checks the
+  // published table pointer (both seq_cst): if the re-check still returns
+  // t, a migration's later table store is ordered after it, so the
+  // migration's drain loop must observe the gauge increment and wait for
+  // the write to finish; if the re-check fails, the writer backs out
+  // without touching the shard and retries on the new table. A write that
+  // will RECORD into a migration ledger releases the gauge the moment it
+  // commits to recording — before even queueing on the ledger lock; the
+  // record-or-retry guarantee covers it from that point on, and writers
+  // stacked on the lock would otherwise keep the gauge nonzero and
+  // starve the drain. Hence after drain_writers
+  // returns, every write that can still reach a to-be-snapshotted map is
+  // recorded in a ledger first — the loss-freedom linchpin.
+
+  enum class WriteAdmit {
+    kCounted,   // proceed; caller holds the gauge and must exit_writer
+    kRecorded,  // proceed; intent recorded, gauge already released
+    kRetry,     // table moved or ledger closed: reload and re-route
+  };
+
+  // Gauges the write in, re-checks the table, and records the intent when
+  // shard s is migrating. `record` appends the intent op(s) to the ledger
+  // vector it is handed.
+  template <class RecordFn>
+  WriteAdmit admit_write(const Table* t, std::size_t s, RecordFn&& record) {
+    Shard* sh = t->shards[s];
+    sh->writers.fetch_add(1, std::memory_order_seq_cst);
+    if (table_.load(std::memory_order_seq_cst) != t) {
+      sh->writers.fetch_sub(1, std::memory_order_release);
+      return WriteAdmit::kRetry;
+    }
+    MigrationState* mig = t->migration;
+    if (mig == nullptr || !mig->covers(s)) return WriteAdmit::kCounted;
+    // Committed to record-or-retry: from here the write either lands in
+    // the ledger (replay covers it) or bounces to the new table — it can
+    // no longer reach the old world unrecorded. Release the gauge BEFORE
+    // queueing on the ledger lock, so writers stacked up on a busy
+    // migrating shard cannot keep the drain spinning.
+    sh->writers.fetch_sub(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(mig->ledgers[s].mu);
+      if (!mig->open.load(std::memory_order_acquire)) {
+        return WriteAdmit::kRetry;
+      }
+      record(mig->ledgers[s].ops);
+    }
+    return WriteAdmit::kRecorded;
+  }
+
+  void exit_writer(const Table* t, std::size_t s) {
+    t->shards[s]->writers.fetch_sub(1, std::memory_order_release);
+  }
+
+  // The single-key write protocol shared by insert/erase/assign: route on
+  // the loaded table, admit (gauge + re-check + intent recording), apply
+  // through the routed shard's ordinary path, release the gauge when the
+  // admit left it counted, and re-route from scratch whenever a cutover
+  // moved the table underneath us. `record` appends the op's intent to a
+  // ledger vector; `apply` performs it on the routed Map and returns the
+  // ack.
+  template <class RecordFn, class ApplyFn>
+  bool routed_write(const K& k, RecordFn&& record, ApplyFn&& apply) {
+    auto guard = reclaimer_->pin();
+    for (;;) {
+      const Table* t = table_.load(std::memory_order_seq_cst);
+      const std::size_t s = t->splitter.shard_of(k, NumShards);
+      const WriteAdmit a = admit_write(t, s, record);
+      if (a == WriteAdmit::kRetry) continue;
+      const bool r = apply(t->shards[s]->map);
+      if (a == WriteAdmit::kCounted) exit_writer(t, s);
+      return r;
+    }
+  }
+
+  // Waits until no unrecorded write is still in flight on the shards
+  // about to be snapshotted. Recording writers release their gauge before
+  // queueing on the ledger lock, so a write-heavy migration window cannot
+  // starve this.
+  void drain_writers(const Table* t, std::size_t first, std::size_t last) {
+    Backoff backoff;
+    for (std::size_t s = first; s < last; ++s) {
+      while (t->shards[s]->writers.load(std::memory_order_seq_cst) != 0) {
+        backoff.pause();
+      }
+    }
+  }
+
+  // Publishes the intermediate migration generation: same routing as
+  // t_old, plus the write-intent ledgers. After this store every NEW
+  // writer on a covered shard records before applying; drain_writers then
+  // waits out the writes that entered t_old before the store.
+  Table* publish_migration(const Table* t_old, MigrationState* mig) {
+    auto* t_m = new Table(*t_old);
+    t_m->migration = mig;
+    table_.store(t_m, std::memory_order_seq_cst);
+    return t_m;
+  }
+
+  // Replays the ledgers into t_new, cuts over, closes the migration, and
+  // retires the whole old generation {t_old, t_m, mig, replaced maps} to
+  // the lifecycle manager. `replaced` carries (map, entry-count estimate)
+  // pairs for the retired-bytes gauge.
+  void finish_migration(const Table* t_old, Table* t_m, MigrationState* mig,
+                        Table* t_new,
+                        std::vector<std::pair<Shard*, std::size_t>> replaced) {
+    ReplayRouter router{t_new};
+    // Bulk pass outside the locks: drain what accumulated during the
+    // rebuild so the locked window below only covers stragglers.
+    for (std::size_t s = mig->first; s < mig->last; ++s) {
+      std::vector<batch_op> taken;
+      {
+        std::lock_guard<std::mutex> lk(mig->ledgers[s].mu);
+        taken.swap(mig->ledgers[s].ops);
+      }
+      ingest::apply_ordered<K, V>(router, taken);
+    }
+    // Final pass under ALL covered ledger locks: replay the remainder,
+    // publish the new table, then close the ledgers. A writer blocked on a
+    // lock here observes open == false afterwards and re-routes to the
+    // table published one line earlier — no acknowledged write can fall
+    // between the replay and the cutover.
+    {
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(mig->last - mig->first);
+      for (std::size_t s = mig->first; s < mig->last; ++s) {
+        locks.emplace_back(mig->ledgers[s].mu);
+      }
+      for (std::size_t s = mig->first; s < mig->last; ++s) {
+        ingest::apply_ordered<K, V>(router, mig->ledgers[s].ops);
+        mig->ledgers[s].ops.clear();
+      }
+      table_.store(t_new, std::memory_order_seq_cst);
+      mig->open.store(false, std::memory_order_release);
+    }
+    std::vector<lifecycle::RetiredResource> resources;
+    resources.reserve(replaced.size() + 3);
+    resources.push_back({const_cast<Table*>(t_old), &delete_table,
+                         sizeof(Table), /*primary=*/false});
+    resources.push_back({t_m, &delete_table, sizeof(Table),
+                         /*primary=*/false});
+    resources.push_back({mig, &delete_migration, sizeof(MigrationState),
+                         /*primary=*/false});
+    for (const auto& [sh, entries] : replaced) {
+      resources.push_back(
+          {sh, &delete_shard, map_bytes_estimate(entries), /*primary=*/true});
+    }
+    lifetime_.retire_generation(std::move(resources));
+  }
+
+  // --- Lifecycle deleters / sizing ------------------------------------------
+
+  static void delete_shard(void* p) { delete static_cast<Shard*>(p); }
+  static void delete_table(void* p) { delete static_cast<Table*>(p); }
+  static void delete_migration(void* p) {
+    delete static_cast<MigrationState*>(p);
+  }
+
+  // Footprint estimate of a retired shard map for the admission gauge: a
+  // leaf-oriented tree with n entries holds ~n leaves and ~n internals.
+  static std::size_t map_bytes_estimate(std::size_t entries) {
+    return sizeof(Shard) +
+           entries * (sizeof(typename Map::Tree::Leaf) +
+                      sizeof(typename Map::Tree::Internal));
+  }
+
+  // Shard routed for a read: the epoch pin the CALLER holds keeps the
+  // loaded table (and the map behind it) alive for the read's duration —
+  // retired generations reach the reclaimer only via retire_generation,
+  // which happens after this load, so the grace period covers us.
   Map& shard(const K& k) {
     const Table* table = table_.load(std::memory_order_acquire);
-    return *table->shards[table->splitter.shard_of(k, NumShards)];
+    return table->shards[table->splitter.shard_of(k, NumShards)]->map;
   }
 
   // Snapshot restricted to the shards that can hold keys of [lo, hi].
   Snapshot snapshot_span(const K& lo, const K& hi) {
+    auto lease = lifetime_.acquire();  // before the load; see snapshot()
     const Table* table = table_.load(std::memory_order_acquire);
     const auto [first, last] =
         table->splitter.shard_span(lo, hi, NumShards);
-    return snapshot_shards(table, first, last);
+    return snapshot_shards(table, first, last, std::move(lease));
   }
 
   Snapshot snapshot_shards(const Table* table, std::size_t first,
-                           std::size_t last) {
+                           std::size_t last,
+                           lifecycle::SnapshotLease<R>&& lease) {
     std::vector<typename Snapshot::ShardSnap> snaps;
     snaps.reserve(last - first);
     for (std::size_t i = first; i < last; ++i) {
-      snaps.push_back({i, table->shards[i]->snapshot()});
+      snaps.push_back({i, table->shards[i]->map.snapshot()});
     }
-    return Snapshot(this, table, std::move(snaps));
-  }
-
-  // Cut over to a new routing table (holding reshard_mutex_). The old table
-  // stays on tables_ for snapshots and in-flight operations.
-  void publish(std::unique_ptr<const Table> table) {
-    table_.store(table.get(), std::memory_order_release);
-    tables_.push_back(std::move(table));
+    return Snapshot(this, table, std::move(lease), std::move(snaps));
   }
 
   // k-way merge of ascending per-shard runs. Cursor scan: O(total · parts),
@@ -670,13 +1065,13 @@ class ShardedPnbMap {
   }
 
   R* reclaimer_;
+  lifecycle::LifetimeManager<R> lifetime_;
+  // Guarded by admission_mutex_ (runtime-tunable from any thread).
+  ingest::AdmissionConfig admission_{};
+  mutable std::mutex admission_mutex_;
   std::atomic<const Table*> table_{nullptr};
-  // Owning stores for every map/table generation, mutated only under
-  // reshard_mutex_ (the constructor runs pre-publication). Retired
-  // generations are freed by purge_retired() or the destructor.
+  // Serializes reshard()/rebuild_shard() (one migration at a time).
   mutable std::mutex reshard_mutex_;
-  std::vector<std::unique_ptr<Map>> maps_;
-  std::vector<std::unique_ptr<const Table>> tables_;
 };
 
 // The sharded front-end models the same concepts as the single-shard map.

@@ -319,9 +319,10 @@ TEST(Reshard, RebuildShardPreservesContentsAndRebalances) {
   EXPECT_EQ(map.rebuild_shard(0), static_cast<std::size_t>(kRange / 4));
   EXPECT_LE(max_depth(map.shard_ref(0).underlying()), 14u);  // balanced
   EXPECT_EQ(map.range_scan(0, kRange - 1), before);
-  EXPECT_EQ(map.retired_maps(), 1u);
-  EXPECT_EQ(map.purge_retired(), 1u);
+  // No snapshot held across the rebuild: the replaced shard map was
+  // reclaimed automatically at cutover (lease lifecycle, src/lifecycle/).
   EXPECT_EQ(map.retired_maps(), 0u);
+  EXPECT_EQ(map.purge_retired(), 0u);
   EXPECT_EQ(map.range_scan(0, kRange - 1), before);
 }
 
@@ -346,11 +347,13 @@ TEST(Reshard, ReshardMigratesToNewRoutingAndKeepsSnapshotsValid) {
   // The pre-reshard snapshot still answers from the pre-reshard world.
   EXPECT_EQ(old_snap.size(), old_size);
   EXPECT_EQ(old_snap.get(0).value_or(-1), 0);
-  // Retired generations: 4 replaced maps; purge only under quiescence and
-  // after dropping the old snapshot.
+  // Retired generation: 4 replaced maps, pinned by the old snapshot's
+  // lease. Dropping the last covering lease reclaims them automatically —
+  // purge_retired() is a test-only force-purge and finds nothing left.
   EXPECT_EQ(map.retired_maps(), 4u);
   { auto drop = std::move(old_snap); }
-  EXPECT_EQ(map.purge_retired(), 4u);
+  EXPECT_EQ(map.retired_maps(), 0u);
+  EXPECT_EQ(map.purge_retired(), 0u);
   EXPECT_EQ(map.range_scan(0, kRange - 1), before);
 }
 

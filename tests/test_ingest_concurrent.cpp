@@ -268,9 +268,15 @@ TEST(IngestConcurrent, ReshardUnderReadChurnKeepsEveryKeyObservable) {
   EXPECT_EQ(pre_snap.size(), static_cast<std::size_t>(kKeys));
   EXPECT_EQ(pre_snap.get(7).value_or(-1), 21);
   EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
+  // The pre-reshard snapshot's lease pins the OLDEST generation, which
+  // gates every younger one (ordered draining): all 6 x 4 replaced maps
+  // are still retained.
   EXPECT_EQ(map.retired_maps(), 24u);  // 6 reshards x 4 shards
+  // Dropping the last lease reclaims every generation automatically — no
+  // manual purge in the happy path.
   { auto drop = std::move(pre_snap); }
-  EXPECT_EQ(map.purge_retired(), 24u);
+  EXPECT_EQ(map.retired_maps(), 0u);
+  EXPECT_EQ(map.purge_retired(), 0u);  // nothing left for the force-purge
   EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
 }
 
@@ -320,7 +326,9 @@ TEST(IngestConcurrent, RebuildShardLeavesOtherShardTrafficUntouched) {
   stop.store(true, std::memory_order_release);
   pool.back().join();
 
-  EXPECT_EQ(map.retired_maps(), static_cast<std::size_t>(rebuilds));
+  // No snapshot ever pinned a retired generation here, so every rebuild's
+  // replaced map was reclaimed automatically at (or right after) cutover.
+  EXPECT_EQ(map.retired_maps(), 0u);
   // Shard 0 exact; other shards match their writers' deterministic replay.
   for (long k = 0; k < kShardWidth; ++k) {
     ASSERT_EQ(map.get_or(k, -1), k + 7);

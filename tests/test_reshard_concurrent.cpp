@@ -1,0 +1,235 @@
+// Loss-free reshard under writer churn (stress label).
+//
+// The PR-5 contract (DESIGN.md §9): a write accepted during a migration is
+// recorded in the shard's write-intent ledger before it touches the
+// pre-reshard world, and the ledger is replayed in order into the
+// replacement maps before the atomic cutover — so NOTHING acknowledged is
+// lost, without quiescing writers. These suites drive that contract to
+// failure if any op can slip through:
+//
+//  * N writer threads with disjoint key stripes run acked insert / erase /
+//    assign streams against their own sequential models while the main
+//    thread churns reshard()/rebuild_shard(); every ack must match the
+//    single-writer model, and the final merged scan must equal the merged
+//    models exactly;
+//  * a batcher streams apply_batch bursts of brand-new unique keys across
+//    the churn — every batch must report full insertion, and the final
+//    count must equal everything ever acknowledged;
+//  * snapshots taken mid-churn stay repeatable, and once every snapshot
+//    is dropped the retired generations reclaim to zero automatically.
+//
+// Swept under ASan+UBSan and TSan (CI runs the stress label in the
+// sanitizer jobs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ingest/batch_apply.h"
+#include "shard/sharded_map.h"
+#include "util/random.h"
+
+namespace pnbbst {
+namespace {
+
+using ingest::BatchOp;
+using ingest::IngestOptions;
+
+TEST(ReshardConcurrent, AckedWritesSurviveReshardAndRebuildChurn) {
+  constexpr unsigned kWriters = 3;
+  constexpr long kStripe = 4000;
+  constexpr long kKeys = kWriters * kStripe;
+  constexpr int kOpsPerWriter = 20000;
+
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, kKeys});
+
+  std::atomic<unsigned> done{0};
+  std::vector<std::map<long, long>> models(kWriters);
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&map, &models, &done, t] {
+      // Writer t owns [base, base + kStripe): per-key single writer, so
+      // every ack is deterministic against the local model — any write
+      // lost at a cutover surfaces as an ack mismatch or a final diff.
+      std::map<long, long>& model = models[t];
+      Xoshiro256 rng(thread_seed(2026, t));
+      const long base = static_cast<long>(t) * kStripe;
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const long k = base + static_cast<long>(rng.next_bounded(kStripe));
+        const long v = static_cast<long>(i) * 8 + static_cast<long>(t);
+        switch (rng.next_bounded(10)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: {  // insert-if-absent
+            const bool expect = model.find(k) == model.end();
+            ASSERT_EQ(map.insert(k, v), expect)
+                << "insert ack diverged, key " << k << " op " << i;
+            if (expect) model.emplace(k, v);
+            break;
+          }
+          case 4:
+          case 5:
+          case 6: {  // erase
+            const bool expect = model.erase(k) > 0;
+            ASSERT_EQ(map.erase(k), expect)
+                << "erase ack diverged, key " << k << " op " << i;
+            break;
+          }
+          default: {  // assign (recorded as erase+insert in the ledger)
+            const bool expect = model.find(k) != model.end();
+            ASSERT_EQ(map.assign(k, v), expect)
+                << "assign ack diverged, key " << k << " op " << i;
+            model[k] = v;
+            break;
+          }
+        }
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // Churn migrations until every writer finished: alternate whole-map
+  // reshards (three routings, so key→shard ownership really moves) with
+  // single-shard rebuilds. The floor of 8 keeps the churn meaningful even
+  // when a fast scheduler drains the writers early; post-writer migrations
+  // must not change the content either.
+  int migrations = 0;
+  while (done.load(std::memory_order_acquire) < kWriters ||
+         migrations < 8) {
+    switch (migrations % 4) {
+      case 0:
+        map.reshard(RangeSplitter<long>{0, kKeys});
+        break;
+      case 1:
+        map.rebuild_shard(static_cast<std::size_t>(migrations / 4) % 4);
+        break;
+      case 2:
+        map.reshard(RangeSplitter<long>{0, kKeys / 2});
+        break;
+      default:
+        map.reshard(RangeSplitter<long>{0, 4 * kKeys});
+        break;
+    }
+    ++migrations;
+  }
+  for (auto& th : writers) th.join();
+
+  // Final merged scan == union of the writers' models: zero lost and zero
+  // phantom acknowledged writes across every cutover.
+  std::map<long, long> expect;
+  for (const auto& m : models) expect.insert(m.begin(), m.end());
+  const auto scan = map.range_scan(0, 4 * kKeys);
+  ASSERT_EQ(scan.size(), expect.size());
+  auto it = expect.begin();
+  for (std::size_t i = 0; i < scan.size(); ++i, ++it) {
+    ASSERT_EQ(scan[i].first, it->first) << "key set diverged at " << i;
+    ASSERT_EQ(scan[i].second, it->second)
+        << "value diverged at key " << it->first;
+  }
+  // Nothing pins the retired generations anymore.
+  EXPECT_EQ(map.retired_maps(), 0u);
+}
+
+TEST(ReshardConcurrent, BatchedWritesSurviveReshardChurn) {
+  // A batcher inserts bursts of brand-new unique keys (so each burst must
+  // report full insertion) while migrations churn. Any batched op dropped
+  // at a cutover shows up as an ack shortfall or a missing key at the end.
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, 100000});
+  constexpr int kBursts = 120;
+  constexpr long kBurst = 500;
+
+  std::atomic<bool> done{false};
+  std::thread batcher([&map, &done] {
+    for (int b = 0; b < kBursts; ++b) {
+      std::vector<BatchOp<long, long>> ops;
+      ops.reserve(kBurst);
+      const long base = static_cast<long>(b) * kBurst;
+      for (long i = 0; i < kBurst; ++i) {
+        ops.push_back(BatchOp<long, long>::insert(base + i, base + i));
+      }
+      IngestOptions opts(2);
+      opts.min_run = 128;
+      const auto r = map.apply_batch(std::move(ops), opts);
+      ASSERT_TRUE(r.admitted());
+      ASSERT_EQ(r.inserted, static_cast<std::size_t>(kBurst))
+          << "burst " << b << " lost inserts to a cutover";
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  int migrations = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    if (migrations % 2 == 0) {
+      map.reshard(RangeSplitter<long>{0, 60000 + (migrations % 5) * 20000});
+    } else {
+      map.rebuild_shard(static_cast<std::size_t>(migrations) % 4);
+    }
+    ++migrations;
+  }
+  batcher.join();
+
+  constexpr std::size_t kTotal = static_cast<std::size_t>(kBursts) * kBurst;
+  EXPECT_EQ(map.range_count(0, kBursts * kBurst), kTotal);
+  const auto scan = map.range_scan(0, kBursts * kBurst);
+  ASSERT_EQ(scan.size(), kTotal);
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    ASSERT_EQ(scan[i].first, static_cast<long>(i));
+    ASSERT_EQ(scan[i].second, static_cast<long>(i));
+  }
+}
+
+TEST(ReshardConcurrent, SnapshotsStayRepeatableAndReclamationCompletes) {
+  // Snapshot holders race the migration churn: each holder repeatedly
+  // takes a composite snapshot, asserts it is internally repeatable (two
+  // reads agree — the leased world cannot be reclaimed under it), then
+  // drops it. When everyone is done, nothing is retained.
+  constexpr long kKeys = 6000;
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, kKeys});
+  std::vector<std::pair<long, long>> items;
+  for (long k = 0; k < kKeys; ++k) items.emplace_back(k, k * 5);
+  map.bulk_load(std::move(items));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> holders;
+  for (unsigned t = 0; t < 3; ++t) {
+    holders.emplace_back([&map, &stop, t] {
+      Xoshiro256 rng(thread_seed(501, t));
+      while (!stop.load(std::memory_order_acquire)) {
+        auto snap = map.snapshot();
+        const std::size_t n1 = snap.size();
+        const long probe = static_cast<long>(rng.next_bounded(kKeys));
+        const auto v1 = snap.get(probe);
+        ASSERT_EQ(snap.size(), n1) << "snapshot size not repeatable";
+        ASSERT_EQ(snap.get(probe), v1) << "snapshot read not repeatable";
+        ASSERT_EQ(n1, static_cast<std::size_t>(kKeys));
+        ASSERT_EQ(v1.value_or(-1), probe * 5);
+      }
+    });
+  }
+
+  for (int round = 0; round < 12; ++round) {
+    if (round % 3 == 2) {
+      map.rebuild_shard(static_cast<std::size_t>(round) % 4);
+    } else {
+      map.reshard(RangeSplitter<long>{0, kKeys + round * 1000});
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : holders) th.join();
+
+  // Every lease is gone: the retired generations reclaimed themselves.
+  EXPECT_EQ(map.lifetime().active_leases(), 0u);
+  EXPECT_EQ(map.retired_maps(), 0u);
+  EXPECT_EQ(map.retired_bytes(), 0u);
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace pnbbst
