@@ -8,9 +8,12 @@
 // queueing); PNB-BST's p99 stays flat.
 #include <cstdio>
 #include <thread>
+#include <type_traits>
 
 #include "bench_common.h"
 #include "benchsupport/reporter.h"
+#include "mem/alloc_policy.h"
+#include "mem/arena.h"
 #include "util/table.h"
 
 namespace {
@@ -18,14 +21,33 @@ namespace {
 using namespace pnbbst;
 using namespace pnbbst::bench;
 
+// Each series point builds a fresh tree; a "box" bundles the tree with
+// whatever must outlive it. Heap trees need nothing extra; arena trees
+// carry their own domain + reclaimer, declared in teardown-safe order
+// (domain before reclaimer — DESIGN.md §11).
 template <class Tree>
+struct HeapBox {
+  Tree tree;
+};
+
+struct ArenaPnbBox {
+  mem::ArenaDomain dom;
+  EpochReclaimer rec;
+  PnbBst<long, std::less<long>, EpochReclaimer, NullOpStats,
+         mem::ArenaAlloc>
+      tree{rec, mem::ArenaAlloc(dom)};
+};
+
+template <class Box>
 void run_series(Table& table, const BenchConfig& base,
                 const std::vector<std::int64_t>& updater_counts,
                 long scan_width) {
   for (auto updaters : updater_counts) {
     BenchConfig cfg = base;
     cfg.threads = static_cast<unsigned>(updaters) + 1;  // +1 scanner
-    Tree tree;
+    Box box;
+    auto& tree = box.tree;
+    using Tree = std::remove_reference_t<decltype(box.tree)>;
     auto set = adapt(tree);
     prefill(set, cfg.key_range, 0.5, cfg.seed);
 
@@ -86,9 +108,10 @@ int main(int argc, char** argv) {
 
   Table table({"structure", "updaters", "scans", "mean_us", "p50_us",
                "p99_us", "p99.9_us", "max_us"});
-  run_series<PnbBst<long>>(table, base, updaters, width);
-  run_series<LockedBst<long>>(table, base, updaters, width);
-  run_series<CowBst<long>>(table, base, updaters, width);
+  run_series<HeapBox<PnbBst<long>>>(table, base, updaters, width);
+  run_series<ArenaPnbBox>(table, base, updaters, width);
+  run_series<HeapBox<LockedBst<long>>>(table, base, updaters, width);
+  run_series<HeapBox<CowBst<long>>>(table, base, updaters, width);
   rep.emit(table);
   return 0;
 }

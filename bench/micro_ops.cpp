@@ -1,103 +1,154 @@
-// Single-operation microbenchmarks (google-benchmark): insert / erase /
-// contains / range_count latency per structure on a prefilled tree.
-#include <benchmark/benchmark.h>
-
-#include <string>
+// Micro.OPS — single-operation latency microbenchmarks: insert/erase
+// pair, contains, and range_count at two widths on a prefilled tree,
+// single-threaded, for every baseline structure — plus an arena-vs-heap
+// allocator ablation on the two lock-free trees (the `alloc` column is
+// the mem policy's kName, the structure cell carries the -arena suffix).
+//
+// This binary used to sit on google-benchmark, which the offline image
+// does not ship, so it silently never built and its code paths rotted
+// outside CI. It now uses the repo's Cli/Table/Reporter stack: same
+// --smoke --json document as every other bench, registered under the
+// bench-smoke CTest label, and swept by tools/bench_smoke_diff.py.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <vector>
 
-#include "baseline/set_adapter.h"
-#include "util/random.h"
-#include "workload/workload.h"
+#include "bench_common.h"
+#include "benchsupport/reporter.h"
+#include "mem/alloc_policy.h"
+#include "mem/arena.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace pnbbst;
+using namespace pnbbst::bench;
 
-constexpr long kRange = 1 << 16;
+// Result sink: op results accumulate locally and land here once per
+// structure, so the calls cannot be optimized away.
+std::atomic<std::uint64_t> g_sink{0};
 
-template <class Tree>
-void prefill_tree(Tree& tree) {
-  auto set = adapt(tree);
-  prefill(set, kRange, 0.5, 42);
+struct MicroCfg {
+  long key_range = 1 << 16;
+  std::uint64_t ops = 200000;
+  std::uint64_t seed = 42;
+  std::vector<long> widths;
+};
+
+// Mean wall-clock ns per iteration of `body` over cfg-many iterations.
+// Includes the RNG draw, identically across all rows.
+template <class F>
+double ns_per_op(std::uint64_t ops, std::uint64_t seed, F&& body) {
+  Xoshiro256 rng(seed);
+  const auto t0 = now_ns();
+  for (std::uint64_t i = 0; i < ops; ++i) body(rng);
+  const auto t1 = now_ns();
+  return static_cast<double>(t1 - t0) / static_cast<double>(ops);
 }
 
 template <class Tree>
-void BM_InsertErase(benchmark::State& state) {
-  Tree tree;
-  prefill_tree(tree);
+void run_rows(Table& table, Tree& tree, const char* alloc_name,
+              const MicroCfg& m) {
   auto set = adapt(tree);
-  Xoshiro256 rng(7);
-  for (auto _ : state) {
-    const long k = static_cast<long>(rng.next_bounded(kRange));
-    benchmark::DoNotOptimize(set.insert(k));
-    benchmark::DoNotOptimize(set.erase(k));
-  }
-  state.SetItemsProcessed(state.iterations() * 2);
-}
+  prefill(set, m.key_range, 0.5, m.seed);
+  const auto range = static_cast<std::uint64_t>(m.key_range);
+  const char* name = SetAdapter<Tree>::kName;
+  std::uint64_t sink = 0;
 
-template <class Tree>
-void BM_Contains(benchmark::State& state) {
-  Tree tree;
-  prefill_tree(tree);
-  auto set = adapt(tree);
-  Xoshiro256 rng(8);
-  for (auto _ : state) {
-    const long k = static_cast<long>(rng.next_bounded(kRange));
-    benchmark::DoNotOptimize(set.contains(k));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
+  // Paired insert/erase on a uniform key keeps density steady; the mean
+  // is halved so the cell reads as ns per single update.
+  const double upd =
+      ns_per_op(m.ops, m.seed + 1,
+                [&](Xoshiro256& rng) {
+                  const long k =
+                      static_cast<long>(rng.next_bounded(range));
+                  sink += set.insert(k);
+                  sink += set.erase(k);
+                }) /
+      2.0;
+  table.add_row({name, alloc_name, "insert+erase", Table::num(upd, 1)});
 
-template <class Tree>
-void BM_RangeCount(benchmark::State& state) {
-  Tree tree;
-  prefill_tree(tree);
-  auto set = adapt(tree);
-  Xoshiro256 rng(9);
-  const long width = state.range(0);
-  for (auto _ : state) {
-    const long lo = static_cast<long>(
-        rng.next_bounded(static_cast<std::uint64_t>(kRange - width)));
-    benchmark::DoNotOptimize(set.range_count(lo, lo + width - 1));
+  const double fnd = ns_per_op(m.ops, m.seed + 2, [&](Xoshiro256& rng) {
+    const long k = static_cast<long>(rng.next_bounded(range));
+    sink += set.contains(k);
+  });
+  table.add_row({name, alloc_name, "contains", Table::num(fnd, 1)});
+
+  for (const long width : m.widths) {
+    if (width >= m.key_range) continue;
+    const auto lo_span = static_cast<std::uint64_t>(m.key_range - width);
+    const double scn =
+        ns_per_op(m.ops / 8 + 1, m.seed + 3, [&](Xoshiro256& rng) {
+          const long lo = static_cast<long>(rng.next_bounded(lo_span));
+          sink += set.range_count(lo, lo + width - 1);
+        });
+    char op[48];
+    std::snprintf(op, sizeof(op), "range_count(%ld)", width);
+    table.add_row({name, alloc_name, op, Table::num(scn, 1)});
   }
-  state.SetItemsProcessed(state.iterations() * width / 2);
+  g_sink.fetch_add(sink, std::memory_order_relaxed);
 }
 
 }  // namespace
 
-BENCHMARK_TEMPLATE(BM_InsertErase, PnbBst<long>);
-BENCHMARK_TEMPLATE(BM_InsertErase, NbBst<long>);
-BENCHMARK_TEMPLATE(BM_InsertErase, LockedBst<long>);
-BENCHMARK_TEMPLATE(BM_InsertErase, CowBst<long>);
-
-BENCHMARK_TEMPLATE(BM_Contains, PnbBst<long>);
-BENCHMARK_TEMPLATE(BM_Contains, NbBst<long>);
-BENCHMARK_TEMPLATE(BM_Contains, LockedBst<long>);
-BENCHMARK_TEMPLATE(BM_Contains, CowBst<long>);
-
-BENCHMARK_TEMPLATE(BM_RangeCount, PnbBst<long>)->Arg(128)->Arg(1024);
-BENCHMARK_TEMPLATE(BM_RangeCount, LockedBst<long>)->Arg(128)->Arg(1024);
-BENCHMARK_TEMPLATE(BM_RangeCount, CowBst<long>)->Arg(128)->Arg(1024);
-
-// Custom main instead of BENCHMARK_MAIN(): accepts the repo-wide --smoke
-// flag (used by the bench-smoke CTest target) by translating it into a tiny
-// --benchmark_min_time before handing off to google-benchmark.
 int main(int argc, char** argv) {
-  std::vector<char*> args;
-  bool smoke = false;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") {
-      smoke = true;
-    } else {
-      args.push_back(argv[i]);
-    }
+  Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
+  const BenchConfig base = config_from_cli(cli);
+  MicroCfg m;
+  m.key_range = base.key_range;
+  m.seed = base.seed;
+  m.ops = static_cast<std::uint64_t>(
+      cli.get_int("ops", smoke ? 20000 : 200000));
+  m.widths = smoke ? std::vector<long>{16, 128}
+                   : std::vector<long>{128, 1024};
+  Reporter rep(cli, "Micro.OPS",
+               "single-op latency (1 thread) + arena/heap ablation");
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
   }
-  std::string min_time = "--benchmark_min_time=0.01";
-  if (smoke) args.push_back(min_time.data());
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  char extra[32];
+  std::snprintf(extra, sizeof(extra), "ops=%llu",
+                static_cast<unsigned long long>(m.ops));
+  rep.preamble(params_string(base, extra));
+
+  Table table({"structure", "alloc", "op", "ns/op"});
+  {
+    PnbBst<long> t;
+    run_rows(table, t, mem::HeapAlloc::kName, m);
+  }
+  {
+    NbBst<long> t;
+    run_rows(table, t, mem::HeapAlloc::kName, m);
+  }
+  {
+    LockedBst<long> t;
+    run_rows(table, t, mem::HeapAlloc::kName, m);
+  }
+  {
+    CowBst<long> t;
+    run_rows(table, t, mem::HeapAlloc::kName, m);
+  }
+  // Arena ablation: scoped domain declared before the reclaimer so every
+  // deferred free lands in a live domain (DESIGN.md §11).
+  {
+    mem::ArenaDomain dom;
+    EpochReclaimer rec;
+    PnbBst<long, std::less<long>, EpochReclaimer, NullOpStats,
+           mem::ArenaAlloc>
+        t(rec, mem::ArenaAlloc(dom));
+    run_rows(table, t, mem::ArenaAlloc::kName, m);
+  }
+  {
+    mem::ArenaDomain dom;
+    EpochReclaimer rec;
+    NbBst<long, std::less<long>, EpochReclaimer, NullOpStats,
+          mem::ArenaAlloc>
+        t(rec, mem::ArenaAlloc(dom));
+    run_rows(table, t, mem::ArenaAlloc::kName, m);
+  }
+  rep.emit(table);
   return 0;
 }

@@ -36,6 +36,8 @@
 
 #include "bench_common.h"
 #include "benchsupport/reporter.h"
+#include "mem/alloc_policy.h"
+#include "mem/arena.h"
 #include "nbbst/nb_bst.h"
 #include "shard/sharded_map.h"
 #include "util/table.h"
@@ -45,6 +47,11 @@ namespace {
 using namespace pnbbst;
 using namespace pnbbst::bench;
 
+// Part (a) rows use CountingOpStats so the tree-side retire counters
+// (nodes_retired, unpub_frees — src/core/op_stats.h) print next to the
+// reclaimer-side retired/freed/pending gauges. The reclaimer also counts
+// retired Info records, so `retired` >= `nodes_retired`; `unpub_frees`
+// are speculative allocations freed directly, never reaching either.
 template <class Tree, class Dom>
 void run_one(Table& table, const char* policy, const BenchConfig& cfg) {
   Dom dom;
@@ -52,11 +59,47 @@ void run_one(Table& table, const char* policy, const BenchConfig& cfg) {
   {
     Tree tree(dom);
     r = bench_structure(tree, WorkloadMix::updates_only(), cfg);
+    const auto& st = tree.stats();
     table.add_row({SetAdapter<Tree>::kName, policy, Table::num(r.mops(), 3),
                    Table::num(dom.retired_count()),
                    Table::num(dom.freed_count()),
-                   Table::num(dom.pending_count())});
+                   Table::num(dom.pending_count()),
+                   Table::num(st.nodes_retired.load()),
+                   Table::num(st.unpublished_frees.load()), "0", "0"});
   }
+}
+
+// Arena rows: nodes/Infos come from ArenaDomain slab slots instead of the
+// heap. The domain is declared BEFORE the reclaimer (DESIGN.md §11) and
+// its gauges are read AFTER tree + reclaimer teardown, so arena_live
+// doubles as a leak check: epoch reclamation must have returned every
+// slot to the freelists by then.
+template <class Tree, class Dom>
+void run_one_arena(Table& table, const char* policy,
+                   const BenchConfig& cfg) {
+  mem::ArenaDomain arena;
+  RunResult r;
+  std::uint64_t retired = 0;
+  std::uint64_t freed = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t nodes_retired = 0;
+  std::uint64_t unpub = 0;
+  {
+    Dom dom;
+    Tree tree(dom, mem::ArenaAlloc(arena));
+    r = bench_structure(tree, WorkloadMix::updates_only(), cfg);
+    retired = dom.retired_count();
+    freed = dom.freed_count();
+    pending = dom.pending_count();
+    nodes_retired = tree.stats().nodes_retired.load();
+    unpub = tree.stats().unpublished_frees.load();
+  }
+  const mem::AllocStats as = arena.stats();
+  table.add_row({SetAdapter<Tree>::kName, policy, Table::num(r.mops(), 3),
+                 Table::num(retired), Table::num(freed),
+                 Table::num(pending), Table::num(nodes_retired),
+                 Table::num(unpub), Table::num(as.slot_allocs),
+                 Table::num(as.slots_live())});
 }
 
 // Part (b): writers vs continuous migration churn, with or without a
@@ -168,9 +211,12 @@ void run_reshard_churn(Table& table, bool pin_window, std::uint64_t churns,
                                 // the lease lifecycle already drained)
   const double mops =
       static_cast<double>(ops) / 1e6 / (secs > 0 ? secs : 1);
+  // The node-level and arena columns do not apply to map-granularity
+  // churn rows; they print 0.
   table.add_row({"sharded-8", pin_window ? "pinned+purge" : "lease-auto",
                  Table::num(mops, 3), Table::num(maps_retired),
-                 Table::num(maps_retired - pending), Table::num(pending)});
+                 Table::num(maps_retired - pending), Table::num(pending),
+                 "0", "0", "0", "0"});
 }
 
 }  // namespace
@@ -193,15 +239,26 @@ int main(int argc, char** argv) {
   rep.preamble(params_string(base, extra));
 
   Table table({"structure", "policy", "Mops/s", "retired", "freed",
-               "pending_at_end"});
-  run_one<PnbBst<long, std::less<long>, EpochReclaimer>, EpochReclaimer>(
-      table, "epoch", base);
-  run_one<PnbBst<long, std::less<long>, LeakyReclaimer>, LeakyReclaimer>(
-      table, "leaky", base);
-  run_one<NbBst<long, std::less<long>, EpochReclaimer>, EpochReclaimer>(
-      table, "epoch", base);
-  run_one<NbBst<long, std::less<long>, LeakyReclaimer>, LeakyReclaimer>(
-      table, "leaky", base);
+               "pending_at_end", "nodes_retired", "unpub_frees",
+               "arena_allocs", "arena_live"});
+  using PnbEpoch =
+      PnbBst<long, std::less<long>, EpochReclaimer, CountingOpStats>;
+  using PnbLeaky =
+      PnbBst<long, std::less<long>, LeakyReclaimer, CountingOpStats>;
+  using NbEpoch =
+      NbBst<long, std::less<long>, EpochReclaimer, CountingOpStats>;
+  using NbLeaky =
+      NbBst<long, std::less<long>, LeakyReclaimer, CountingOpStats>;
+  using PnbArena = PnbBst<long, std::less<long>, EpochReclaimer,
+                          CountingOpStats, mem::ArenaAlloc>;
+  using NbArena = NbBst<long, std::less<long>, EpochReclaimer,
+                        CountingOpStats, mem::ArenaAlloc>;
+  run_one<PnbEpoch, EpochReclaimer>(table, "epoch", base);
+  run_one<PnbLeaky, LeakyReclaimer>(table, "leaky", base);
+  run_one<NbEpoch, EpochReclaimer>(table, "epoch", base);
+  run_one<NbLeaky, LeakyReclaimer>(table, "leaky", base);
+  run_one_arena<PnbArena, EpochReclaimer>(table, "epoch", base);
+  run_one_arena<NbArena, EpochReclaimer>(table, "epoch", base);
   run_reshard_churn(table, /*pin_window=*/false, churns, base);
   run_reshard_churn(table, /*pin_window=*/true, churns, base);
   rep.emit(table);

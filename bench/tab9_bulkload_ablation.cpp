@@ -45,6 +45,8 @@
 #include "bench_common.h"
 #include "benchsupport/reporter.h"
 #include "ingest/batch_apply.h"
+#include "mem/alloc_policy.h"
+#include "mem/arena.h"
 #include "scan/executor.h"
 #include "util/table.h"
 
@@ -113,7 +115,7 @@ int main(int argc, char** argv) {
     // Probes the built tree's read paths and emits one row. `baseline_ms`
     // is the phase's sequential reference (vs_seq_x denominator's dual).
     auto emit_row = [&](const char* mode, long th, double build_ms,
-                        double baseline_ms, long ops, PnbBst<long>& tree) {
+                        double baseline_ms, long ops, auto& tree) {
       Xoshiro256 rng(seed + 1);
       Timer find_timer;
       std::uint64_t hits = 0;
@@ -164,6 +166,38 @@ int main(int argc, char** argv) {
         return 1;
       }
       emit_row("bulk_build", th, t.elapsed_ms(), seq_ms, n, *tree);
+    }
+
+    // --- cold load, arena-backed --------------------------------------------
+    // Same two modes on the arena allocator: seq-insert-arena isolates
+    // the slab fast path on the insert-heavy build, bulk_build-arena adds
+    // reserve_run slab adjacency (leaves/internals of one worker's range
+    // land in contiguous runs), which the find/scan probe columns read
+    // back as locality. vs_seq_x keeps the HEAP seq-insert denominator so
+    // every cold row is comparable against the same baseline.
+    using ArenaTree = PnbBst<long, std::less<long>, EpochReclaimer,
+                             NullOpStats, mem::ArenaAlloc>;
+    {
+      mem::ArenaDomain dom;
+      EpochReclaimer rec;
+      ArenaTree tree(rec, mem::ArenaAlloc(dom));
+      Timer t;
+      for (long k : base) tree.insert(k);
+      emit_row("seq-insert-arena", 1, t.elapsed_ms(), seq_ms, n, tree);
+    }
+    for (long th : threads) {
+      mem::ArenaDomain dom;
+      EpochReclaimer rec;
+      ArenaTree tree(rec, mem::ArenaAlloc(dom));
+      const ingest::IngestOptions opts(static_cast<unsigned>(th), executor);
+      auto input = base;
+      Timer t;
+      if (tree.bulk_load(std::move(input), opts) !=
+          static_cast<std::size_t>(n)) {
+        std::fprintf(stderr, "bulk_build (arena) dropped keys\n");
+        return 1;
+      }
+      emit_row("bulk_build-arena", th, t.elapsed_ms(), seq_ms, n, tree);
     }
 
     // --- update burst against an established balanced tree ------------------

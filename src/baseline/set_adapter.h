@@ -48,14 +48,17 @@ void visit_while_emulated(Traverse&& traverse, Vis&& vis) {
 template <class Tree>
 struct SetAdapter;
 
-template <class K, class C, class R, class S>
-struct SetAdapter<PnbBst<K, C, R, S>> {
-  using Tree = PnbBst<K, C, R, S>;
+template <class K, class C, class R, class S, class A>
+struct SetAdapter<PnbBst<K, C, R, S, A>> {
+  using Tree = PnbBst<K, C, R, S, A>;
   using key_type = K;
   using Snapshot = typename Tree::Snapshot;
   using bulk_item = typename Tree::bulk_item;
   using batch_op = typename Tree::batch_op;
-  static constexpr const char* kName = "pnb-bst";
+  // Arena-backed instantiations report a distinct name so benchmark rows
+  // (fig4, tab9, micro_ops) can diff the two configurations side by side.
+  static constexpr const char* kName =
+      A::kIsArena ? "pnb-bst-arena" : "pnb-bst";
   static constexpr bool kLinearizableScan = true;
   static constexpr bool kHasSnapshot = true;
 
@@ -100,11 +103,12 @@ struct SetAdapter<PnbBst<K, C, R, S>> {
   }
 };
 
-template <class K, class C, class R, class S>
-struct SetAdapter<NbBst<K, C, R, S>> {
-  using Tree = NbBst<K, C, R, S>;
+template <class K, class C, class R, class S, class A>
+struct SetAdapter<NbBst<K, C, R, S, A>> {
+  using Tree = NbBst<K, C, R, S, A>;
   using key_type = K;
-  static constexpr const char* kName = "nb-bst";
+  static constexpr const char* kName =
+      A::kIsArena ? "nb-bst-arena" : "nb-bst";
   static constexpr bool kLinearizableScan = false;  // best-effort traversal
   static constexpr bool kHasSnapshot = false;
 

@@ -27,6 +27,7 @@
 
 #include "core/node.h"
 #include "core/tagged_update.h"
+#include "util/cacheline.h"
 
 namespace pnbbst {
 
@@ -37,8 +38,15 @@ enum class InfoState : std::uint8_t {
   kAbort = 3,
 };
 
+// Cache-line isolation is the allocator's job, not the type's: arena size
+// classes round every slot up to whole cache lines and 64-align it, so
+// slab-packed Infos never false-share on `state`. The struct itself stays
+// naturally aligned — an alignas(kCacheLine) here would force every heap
+// allocation through the over-aligned operator new (a measurably slower
+// memalign path on the update-heavy benches) for no benefit, since malloc
+// chunk headers already separate adjacent records.
 template <class Key>
-struct alignas(8) PnbInfo {
+struct PnbInfo {
   using Node = PnbNode<Key>;
   using Internal = PnbInternal<Key>;
   using Update = TaggedUpdate<PnbInfo>;
@@ -91,9 +99,12 @@ struct alignas(8) PnbInfo {
   }
 };
 
-// Frozen(up) — Fig. 4, lines 89–91.
+// Frozen(up) — Fig. 4, lines 89–91. Dummy words answer from the tag bits
+// alone (the Dummy Info is permanently kAbort: flag → not in progress,
+// mark → aborted), skipping the dependent load of the Info's state.
 template <class Key>
 inline bool frozen(TaggedUpdate<PnbInfo<Key>> up) noexcept {
+  if (up.is_dummy()) return false;
   const InfoState s = up.info()->load_state();
   if (up.is_flag()) {
     return s == InfoState::kUndecided || s == InfoState::kTry;

@@ -24,6 +24,8 @@ struct NullOpStats {
   void inc_child_cas_failures() noexcept {}
   void inc_nodes_allocated(std::uint64_t = 1) noexcept {}
   void inc_infos_allocated() noexcept {}
+  void inc_nodes_retired() noexcept {}
+  void inc_unpublished_frees(std::uint64_t = 1) noexcept {}
 };
 
 struct CountingOpStats {
@@ -50,6 +52,12 @@ struct CountingOpStats {
   // Allocation counters (used by reclamation accounting tests).
   std::atomic<std::uint64_t> nodes_allocated{0};
   std::atomic<std::uint64_t> infos_allocated{0};
+  // Retire-side counters (tab6 pairs them with the allocator's
+  // AllocStats gauges so allocation and reclamation read as one table).
+  // Nodes handed to the reclaimer after a successful unlink / abort.
+  std::atomic<std::uint64_t> nodes_retired{0};
+  // Speculative nodes/Infos freed directly (never published to anyone).
+  std::atomic<std::uint64_t> unpublished_frees{0};
 
   void inc_attempts() noexcept { bump(attempts); }
   void inc_commits() noexcept { bump(commits); }
@@ -64,6 +72,10 @@ struct CountingOpStats {
     nodes_allocated.fetch_add(n, std::memory_order_relaxed);
   }
   void inc_infos_allocated() noexcept { bump(infos_allocated); }
+  void inc_nodes_retired() noexcept { bump(nodes_retired); }
+  void inc_unpublished_frees(std::uint64_t n = 1) noexcept {
+    unpublished_frees.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   static void bump(std::atomic<std::uint64_t>& c) noexcept {

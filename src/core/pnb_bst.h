@@ -21,6 +21,12 @@
 //              reclaim/reclaimer.h for the contract. The reclaimer must
 //              outlive the tree and all of the tree's pending retirements.
 //   Stats    — NullOpStats (default) or CountingOpStats.
+//   Alloc    — allocator policy for nodes and Info records:
+//              mem::HeapAlloc (default, plain new/delete) or
+//              mem::ArenaAlloc (slab arena; see mem/alloc_policy.h and
+//              DESIGN.md §11). With ArenaAlloc the backing ArenaDomain
+//              must outlive the tree AND the reclaimer's pending
+//              retirements (deleters free into the domain).
 //
 // Thread safety: all public operations may be called concurrently from any
 // thread. Operations are logically const but physically help concurrent
@@ -47,6 +53,7 @@
 #include "ingest/batch_apply.h"
 #include "ingest/bulk_build.h"
 #include "lifecycle/lifetime_manager.h"
+#include "mem/alloc_policy.h"
 #include "reclaim/epoch.h"
 #include "reclaim/leaky.h"
 #include "reclaim/reclaimer.h"
@@ -57,7 +64,8 @@
 namespace pnbbst {
 
 template <class Key, class Compare = std::less<Key>,
-          class R = EpochReclaimer, class Stats = NullOpStats>
+          class R = EpochReclaimer, class Stats = NullOpStats,
+          class Alloc = mem::HeapAlloc>
 class PnbBst {
  public:
   using key_type = Key;
@@ -71,16 +79,15 @@ class PnbBst {
   using bulk_item = Key;
   using batch_op = ingest::BatchOp<Key>;
 
-  explicit PnbBst(R& reclaimer = R::shared())
-      : reclaimer_(&reclaimer), lifetime_(reclaimer) {
+  explicit PnbBst(R& reclaimer = R::shared(), Alloc alloc = Alloc())
+      : reclaimer_(&reclaimer), lifetime_(reclaimer), alloc_(alloc) {
     dummy_ = shared_dummy();
     // Initial tree (Fig. 2, line 31): Root(∞2) with leaves ∞1 and ∞2.
-    root_ = new Internal;
+    root_ = alloc_.template create<Internal>();
     root_->key = EK::inf2();
     root_->seq = 0;
     root_->prev = nullptr;
-    root_->store_update(Update(FreezeType::kFlag, dummy_),
-                        std::memory_order_relaxed);
+    root_->store_update(Update::dummy(dummy_), std::memory_order_relaxed);
     root_->left.store(make_leaf(EK::inf1(), 0, nullptr),
                       std::memory_order_relaxed);
     root_->right.store(make_leaf(EK::inf2(), 0, nullptr),
@@ -156,9 +163,13 @@ class PnbBst {
           return true;
         case ExecResult::kFailNotPublished:
           // Info never became visible: the speculative nodes are private.
-          delete new_leaf;
-          delete new_sibling;
-          delete new_internal;
+          // Typed destroys (not delete_unpublished): the static types are
+          // known here, and the runtime is_leaf dispatch makes GCC's
+          // inliner warn about the dead cross-type branch.
+          stats_.inc_unpublished_frees(3);
+          Alloc::template destroy<Leaf>(new_leaf);
+          Alloc::template destroy<Leaf>(new_sibling);
+          Alloc::template destroy<Internal>(new_internal);
           break;
         case ExecResult::kFailPublished:
           // The (aborted) Info is visible and references new_internal; no
@@ -769,7 +780,7 @@ class PnbBst {
         return ExecResult::kFailNotPublished;
       }
     }
-    Info* infp = new Info;
+    Info* infp = alloc_.template create<Info>();
     stats_.inc_infos_allocated();
     infp->num_nodes = static_cast<std::uint8_t>(n);
     infp->from_delete = from_delete;
@@ -789,7 +800,8 @@ class PnbBst {
       release_overwritten(old_up[0]);
       return help(infp) ? ExecResult::kSuccess : ExecResult::kFailPublished;
     }
-    delete infp;  // never published; no other thread can hold it
+    // Never published; no other thread can hold it.
+    Alloc::template destroy<Info>(infp);
     return ExecResult::kFailNotPublished;
   }
 
@@ -848,7 +860,12 @@ class PnbBst {
   }
 
   void help_if_in_progress(Internal* in) {
-    Info* infp = in->load_update().info();
+    const Update up = in->load_update();
+    // Quiescent nodes carry a dummy word: the tag bit alone proves
+    // nothing is in progress, so traversals skip the Info dereference
+    // (one dependent cache-miss load per step on the common path).
+    if (up.is_dummy()) return;
+    Info* infp = up.info();
     if (!infp->is_dummy && infp->state_in_progress()) {
       stats_.inc_scan_helps();
       help(infp);
@@ -980,25 +997,32 @@ class PnbBst {
   }
 
   Leaf* make_leaf(const EK& k, std::uint64_t seq, Node* prev) {
-    auto* l = new Leaf;
+    auto* l = alloc_.template create<Leaf>();
     l->key = k;
     l->seq = seq;
     l->prev = prev;
-    l->store_update(Update(FreezeType::kFlag, dummy_),
-                    std::memory_order_relaxed);
+    l->store_update(Update::dummy(dummy_), std::memory_order_relaxed);
     stats_.inc_nodes_allocated();
     return l;
   }
 
   Internal* make_internal(const EK& k, std::uint64_t seq, Node* prev) {
-    auto* in = new Internal;
+    auto* in = alloc_.template create<Internal>();
     in->key = k;
     in->seq = seq;
     in->prev = prev;
-    in->store_update(Update(FreezeType::kFlag, dummy_),
-                     std::memory_order_relaxed);
+    in->store_update(Update::dummy(dummy_), std::memory_order_relaxed);
     stats_.inc_nodes_allocated();
     return in;
+  }
+
+  // Bulk-build locality hint (ingest/bulk_build.h calls this before each
+  // subtree task): ask the allocator for contiguous runs sized for the
+  // task's n leaves and n-1 internals, so a cold-loaded subtree lands
+  // cache-adjacent in its worker's arena slabs. No-op on HeapAlloc.
+  void builder_reserve(std::size_t n_leaves) {
+    alloc_.template reserve_run<Leaf>(n_leaves);
+    alloc_.template reserve_run<Internal>(n_leaves > 0 ? n_leaves - 1 : 0);
   }
 
   // Retires the nodes a successful child CAS unlinked: exactly I.mark
@@ -1009,16 +1033,18 @@ class PnbBst {
   }
 
   void retire_node(Node* n) {
+    stats_.inc_nodes_retired();
     reclaimer_->retire(static_cast<void*>(n), &node_deleter);
   }
 
   // Deletes a speculative node that was never made visible to any thread.
   void delete_unpublished(Node* n) {
     if (n == nullptr) return;
+    stats_.inc_unpublished_frees();
     if (n->is_leaf()) {
-      delete static_cast<Leaf*>(n);
+      Alloc::template destroy<Leaf>(static_cast<Leaf*>(n));
     } else {
-      delete static_cast<Internal*>(n);
+      Alloc::template destroy<Internal>(static_cast<Internal*>(n));
     }
   }
 
@@ -1035,10 +1061,14 @@ class PnbBst {
     }
   }
 
+  // The deleters below run on the reclaimer's schedule as bare
+  // void(*)(void*) thunks — no allocator instance in sight. Alloc::destroy
+  // is static and context-free (ArenaAlloc recovers the owning domain from
+  // the slab header), which is what makes these expressible at all.
   static void retire_info_thunk(void* ctx, Info* infp) {
-    static_cast<R*>(ctx)->retire(
-        static_cast<void*>(infp),
-        [](void* p) { delete static_cast<Info*>(p); });
+    static_cast<R*>(ctx)->retire(static_cast<void*>(infp), [](void* p) {
+      Alloc::template destroy<Info>(static_cast<Info*>(p));
+    });
   }
 
   // Final deleter for tree nodes: drops the node's last Info reference.
@@ -1046,9 +1076,9 @@ class PnbBst {
     Node* n = static_cast<Node*>(p);
     release_info(n->load_update(std::memory_order_relaxed).info());
     if (n->is_leaf()) {
-      delete static_cast<Leaf*>(n);
+      Alloc::template destroy<Leaf>(static_cast<Leaf*>(n));
     } else {
-      delete static_cast<Internal*>(n);
+      Alloc::template destroy<Internal>(static_cast<Internal*>(n));
     }
   }
 
@@ -1057,6 +1087,7 @@ class PnbBst {
   [[no_unique_address]] ExtKeyLess<Key, Compare> less_{};
   R* reclaimer_;
   lifecycle::LifetimeManager<R> lifetime_;
+  [[no_unique_address]] Alloc alloc_{};
   Internal* root_ = nullptr;
   Info* dummy_ = nullptr;
   alignas(kCacheLine) std::atomic<std::uint64_t> counter_{0};

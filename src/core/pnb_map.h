@@ -92,18 +92,20 @@ struct MapEntryLess {
 };
 
 template <class K, class V, class Compare = std::less<K>,
-          class R = EpochReclaimer, class Stats = NullOpStats>
+          class R = EpochReclaimer, class Stats = NullOpStats,
+          class Alloc = mem::HeapAlloc>
 class PnbMap {
  public:
   using key_type = K;
   using mapped_type = V;
   using Entry = MapEntry<K, V>;
-  using Tree = PnbBst<Entry, MapEntryLess<K, V, Compare>, R, Stats>;
+  using Tree = PnbBst<Entry, MapEntryLess<K, V, Compare>, R, Stats, Alloc>;
   // Batch ingest shapes (src/ingest/, BatchIngestible in core/concepts.h).
   using bulk_item = std::pair<K, V>;
   using batch_op = ingest::BatchOp<K, V>;
 
-  explicit PnbMap(R& reclaimer = R::shared()) : tree_(reclaimer) {}
+  explicit PnbMap(R& reclaimer = R::shared(), Alloc alloc = Alloc())
+      : tree_(reclaimer, alloc) {}
 
   // --- Point operations (non-blocking, linearizable) -----------------------
 

@@ -1,9 +1,20 @@
 // The one-CAS-word `update` field: {Flag, Mark} × Info* (Fig. 2, lines 1–4).
 //
-// Info records are allocated with alignment >= 8, so the low pointer bit is
-// free to encode the freeze type. The whole pair is read, compared and CASed
-// as a single uintptr_t, exactly matching the paper's "stored in one CAS
-// word" requirement.
+// Info records are allocated with alignment >= 8, so the low pointer bits
+// are free to encode per-word state. The whole pair is read, compared and
+// CASed as a single uintptr_t, exactly matching the paper's "stored in one
+// CAS word" requirement.
+//
+// Bit layout (3 low bits free; 2 used):
+//   bit 0 — FreezeType (kFlag / kMark), as in the paper;
+//   bit 1 — kDummyBit: set iff the word points at the tree's immortal
+//     Dummy Info (state kAbort forever). Freshly made nodes get a dummy
+//     word, so on the read path `frozen()` and the helping check can
+//     answer "not frozen" from the word alone, without dereferencing the
+//     Info — this collapses a dependent cache-miss load on every traversal
+//     step through quiescent nodes (and EVERY node of a bulk-built tree).
+// Dummy words are only ever built through the same factory, so raw
+// uintptr_t comparison/CAS equality is unaffected.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +35,16 @@ class TaggedUpdate {
       : bits_(reinterpret_cast<std::uintptr_t>(info) |
               static_cast<std::uintptr_t>(type)) {}
 
+  // Builds the word a quiescent node carries: flagged on the immortal
+  // Dummy Info, with kDummyBit set so readers can skip the dereference.
+  static TaggedUpdate dummy(InfoT* dummy_info) noexcept {
+    TaggedUpdate up(FreezeType::kFlag, dummy_info);
+    up.bits_ |= kDummyBit;
+    return up;
+  }
+
   FreezeType type() const noexcept {
-    return static_cast<FreezeType>(bits_ & kTagMask);
+    return static_cast<FreezeType>(bits_ & kTypeMask);
   }
   InfoT* info() const noexcept {
     return reinterpret_cast<InfoT*>(bits_ & ~kTagMask);
@@ -35,6 +54,10 @@ class TaggedUpdate {
   bool is_flag() const noexcept { return type() == FreezeType::kFlag; }
   bool is_mark() const noexcept { return type() == FreezeType::kMark; }
 
+  // True iff the word is a dummy word — never frozen, nothing in
+  // progress — decided without touching the Info's cacheline.
+  bool is_dummy() const noexcept { return (bits_ & kDummyBit) != 0; }
+
   friend bool operator==(TaggedUpdate a, TaggedUpdate b) noexcept {
     return a.bits_ == b.bits_;
   }
@@ -43,7 +66,9 @@ class TaggedUpdate {
   }
 
  private:
-  static constexpr std::uintptr_t kTagMask = 1;
+  static constexpr std::uintptr_t kTypeMask = 1;
+  static constexpr std::uintptr_t kDummyBit = 2;
+  static constexpr std::uintptr_t kTagMask = 3;
   std::uintptr_t bits_;
 };
 

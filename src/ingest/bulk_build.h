@@ -107,6 +107,13 @@ struct TreeBuilder {
     Node* root = build_spine(t, leaves, 0, n, grain, tasks);
     scan::run_tasks(opts.scan_options(), tasks.size(), [&](std::size_t i) {
       const SubtreeTask& task = tasks[i];
+      // Arena-adjacency hint: a tree whose allocator can reserve
+      // contiguous slot runs gets each subtree emitted into its worker's
+      // own fresh slab region, so cold-loaded subtrees are cache-adjacent
+      // by construction. Trees without the hook build exactly as before.
+      if constexpr (requires { t.builder_reserve(task.hi - task.lo); }) {
+        t.builder_reserve(task.hi - task.lo);
+      }
       task.slot->store(build_range(t, leaves, task.lo, task.hi),
                        std::memory_order_relaxed);
     });

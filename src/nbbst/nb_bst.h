@@ -21,6 +21,7 @@
 
 #include "core/keyspace.h"
 #include "core/op_stats.h"
+#include "mem/alloc_policy.h"
 #include "reclaim/epoch.h"
 #include "reclaim/leaky.h"
 #include "util/cacheline.h"
@@ -28,7 +29,8 @@
 namespace pnbbst {
 
 template <class Key, class Compare = std::less<Key>,
-          class R = EpochReclaimer, class Stats = NullOpStats>
+          class R = EpochReclaimer, class Stats = NullOpStats,
+          class Alloc = mem::HeapAlloc>
 class NbBst {
  public:
   using key_type = Key;
@@ -97,7 +99,12 @@ class NbBst {
     }
   };
 
-  struct alignas(8) NbInfo {
+  // Cache-line isolation comes from the arena's size classes (like
+  // PnbInfo): slots are rounded to whole cache lines and 64-aligned, so
+  // helping CAS traffic on one record never false-shares with a slab
+  // neighbor. No alignas here — it would push heap allocations onto the
+  // slower over-aligned operator new.
+  struct NbInfo {
     enum class Kind : std::uint8_t { kDummy, kInsert, kDelete };
     Kind kind = Kind::kDummy;
     // Insert: p, l, new_internal. Delete: gp, p, l, pupdate.
@@ -121,7 +128,8 @@ class NbBst {
     }
   };
 
-  explicit NbBst(R& reclaimer = R::shared()) : reclaimer_(&reclaimer) {
+  explicit NbBst(R& reclaimer = R::shared(), Alloc alloc = Alloc())
+      : reclaimer_(&reclaimer), alloc_(alloc) {
     dummy_ = shared_dummy();  // Kind::kDummy; never helped, never released
     root_ = make_internal(EK::inf2());
     root_->left.store(make_leaf(EK::inf1()), std::memory_order_relaxed);
@@ -167,7 +175,7 @@ class NbBst {
       new_internal->right.store(k_left ? static_cast<Node*>(new_sibling)
                                        : static_cast<Node*>(new_leaf),
                                 std::memory_order_relaxed);
-      NbInfo* op = new NbInfo;
+      NbInfo* op = alloc_.template create<NbInfo>();
       stats_.inc_infos_allocated();
       op->kind = NbInfo::Kind::kInsert;
       op->p = sr.p;
@@ -183,10 +191,11 @@ class NbBst {
         stats_.inc_commits();
         return true;
       }
-      delete op;  // never published
-      delete new_leaf;
-      delete new_sibling;
-      delete new_internal;
+      // Never published: op and the speculative nodes are still private.
+      Alloc::template destroy<NbInfo>(op);
+      Alloc::template destroy<Leaf>(new_leaf);
+      Alloc::template destroy<Leaf>(new_sibling);
+      Alloc::template destroy<Internal>(new_internal);
       stats_.inc_validate_fails();
       stats_.inc_helps();
       help(sr.p->load_update());
@@ -209,7 +218,7 @@ class NbBst {
         help(sr.pupdate);
         continue;
       }
-      NbInfo* op = new NbInfo;
+      NbInfo* op = alloc_.template create<NbInfo>();
       stats_.inc_infos_allocated();
       op->kind = NbInfo::Kind::kDelete;
       op->gp = sr.gp;
@@ -228,7 +237,7 @@ class NbBst {
         }
         stats_.inc_validate_fails();
       } else {
-        delete op;  // never published
+        Alloc::template destroy<NbInfo>(op);  // never published
         stats_.inc_validate_fails();
         stats_.inc_helps();
         help(sr.gp->load_update());
@@ -393,14 +402,14 @@ class NbBst {
   }
 
   Leaf* make_leaf(const EK& k) {
-    auto* l = new Leaf;
+    auto* l = alloc_.template create<Leaf>();
     l->key = k;
     stats_.inc_nodes_allocated();
     return l;
   }
 
   Internal* make_internal(const EK& k) {
-    auto* in = new Internal;
+    auto* in = alloc_.template create<Internal>();
     in->key = k;
     in->update.store(Word(UState::kClean, dummy_).raw(),
                      std::memory_order_relaxed);
@@ -419,6 +428,7 @@ class NbBst {
   }
 
   void retire_node(Node* n) {
+    stats_.inc_nodes_retired();
     reclaimer_->retire(static_cast<void*>(n), &node_deleter);
   }
 
@@ -431,25 +441,28 @@ class NbBst {
     if (op->ref_release()) op->retire_fn(op->reclaim_ctx, op);
   }
 
+  // Epoch-deleter thunks: static + context-free, so Alloc::destroy must be
+  // too (ArenaAlloc recovers the domain from the slab header).
   static void retire_info_thunk(void* ctx, NbInfo* op) {
-    static_cast<R*>(ctx)->retire(
-        static_cast<void*>(op),
-        [](void* p) { delete static_cast<NbInfo*>(p); });
+    static_cast<R*>(ctx)->retire(static_cast<void*>(op), [](void* p) {
+      Alloc::template destroy<NbInfo>(static_cast<NbInfo*>(p));
+    });
   }
 
   static void node_deleter(void* p) {
     Node* n = static_cast<Node*>(p);
     if (n->is_leaf()) {
-      delete static_cast<Leaf*>(n);
+      Alloc::template destroy<Leaf>(static_cast<Leaf*>(n));
     } else {
       auto* in = static_cast<Internal*>(n);
       release_info(Word(in->update.load(std::memory_order_relaxed)).info());
-      delete in;
+      Alloc::template destroy<Internal>(in);
     }
   }
 
   [[no_unique_address]] ExtKeyLess<Key, Compare> less_{};
   R* reclaimer_;
+  [[no_unique_address]] Alloc alloc_{};
   Internal* root_ = nullptr;
   NbInfo* dummy_ = nullptr;
   Stats stats_{};

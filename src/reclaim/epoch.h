@@ -24,6 +24,15 @@
 // Memory ordering: the pin protocol needs a StoreLoad edge between
 // announcing the epoch and the operation's subsequent shared-memory loads;
 // we use an explicit seq_cst fence plus a re-read loop bounding staleness.
+//
+// Deleters and arena domains (DESIGN.md §11): the `void (*)(void*)`
+// deleters run on the reclaimer's schedule — possibly on another thread,
+// possibly during this reclaimer's own destructor drain. With
+// mem::ArenaAlloc trees those deleters free slots back into a
+// mem::ArenaDomain, so the domain must outlive every pending retirement:
+// either use the immortal shared()/pooled() domains, or declare a scoped
+// domain BEFORE a scoped EpochReclaimer (the reclaimer's destructor
+// drains all limbo lists, so nothing frees into the domain afterwards).
 #pragma once
 
 #include <atomic>

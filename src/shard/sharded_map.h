@@ -188,7 +188,8 @@ struct HashSplitter {
 // same canonical form.
 template <class K, class V, std::size_t NumShards = 8,
           class Splitter = HashSplitter<K>, class Compare = std::less<K>,
-          class R = EpochReclaimer, class Stats = NullOpStats>
+          class R = EpochReclaimer, class Stats = NullOpStats,
+          class Alloc = mem::HeapAlloc>
 class ShardedPnbMap {
   static_assert(NumShards >= 1, "at least one shard");
 
@@ -198,7 +199,7 @@ class ShardedPnbMap {
  public:
   using key_type = K;
   using mapped_type = V;
-  using Map = PnbMap<K, V, Compare, R, Stats>;
+  using Map = PnbMap<K, V, Compare, R, Stats, Alloc>;
   // Batch ingest shapes (src/ingest/, BatchIngestible in core/concepts.h).
   using bulk_item = std::pair<K, V>;
   using batch_op = ingest::BatchOp<K, V>;
@@ -212,8 +213,13 @@ class ShardedPnbMap {
   // map pointer is shared forward by rebuilds), so a migration must wait
   // on the data it is about to snapshot — the map — not on whichever
   // table the writer happened to enter through.
+  // Each shard gets Alloc::for_shard(i): with mem::ArenaAlloc that is the
+  // immortal pooled(i) arena domain, so shard i's nodes pack into their
+  // own slab set (per-shard arena domains) and the domain's lifetime is
+  // decoupled from the epoch-retired Shard object. HeapAlloc shards all
+  // share the heap, as before.
   struct Shard {
-    explicit Shard(R& r) : map(r) {}
+    Shard(R& r, Alloc a) : map(r, a) {}
     Map map;
     std::atomic<std::uint32_t> writers{0};
   };
@@ -225,7 +231,7 @@ class ShardedPnbMap {
     auto* table = new Table;
     table->splitter = std::move(splitter);
     for (std::size_t i = 0; i < NumShards; ++i) {
-      table->shards[i] = new Shard(reclaimer);
+      table->shards[i] = new Shard(reclaimer, Alloc::for_shard(i));
     }
     table_.store(table, std::memory_order_release);
   }
@@ -475,7 +481,7 @@ class ShardedPnbMap {
       });
     }
     const std::size_t n = items.size();
-    auto* fresh = new Shard(*reclaimer_);
+    auto* fresh = new Shard(*reclaimer_, Alloc::for_shard(i));
     fresh->map.bulk_load(std::move(items), opts);
     auto* t_new = new Table(*t_m);
     t_new->shards[i] = fresh;
@@ -527,7 +533,7 @@ class ShardedPnbMap {
           std::move(it));
     }
     scan::run_tasks(opts.scan_options(), NumShards, [&](std::size_t i) {
-      auto* fresh = new Shard(*reclaimer_);
+      auto* fresh = new Shard(*reclaimer_, Alloc::for_shard(i));
       fresh->map.bulk_load(std::move(routed[i]), opts);
       t_new->shards[i] = fresh;
     });

@@ -34,8 +34,7 @@ import pathlib
 import subprocess
 import sys
 
-# Experiment id -> bench binary, the inventory this sweep covers. micro_ops
-# (google-benchmark) has no table JSON and is excluded.
+# Experiment id -> bench binary, the inventory this sweep covers.
 BENCHES = {
     "Fig.E1": "fig1_update_throughput",
     "Fig.E2": "fig2_mixed_throughput",
@@ -43,6 +42,7 @@ BENCHES = {
     "Fig.E4": "fig4_scan_latency",
     "Fig.E7": "fig7_scan_scaling",
     "Fig.SHARD": "fig_sharded_throughput",
+    "Micro.OPS": "micro_ops",
     "Tab.E5": "tab5_handshake_ablation",
     "Tab.E6": "tab6_reclamation",
     "Tab.E8": "tab8_zipf_skew",
