@@ -1,0 +1,151 @@
+// Fig.E2E — End-to-end service latency: the epoll server (src/server/)
+// driven over loopback TCP by the load generator (src/loadgen/),
+// sweeping server event-loop threads x client connections in closed-
+// and open-loop modes.
+//
+// Claim exercised: the PNB-BST stack survives contact with a real
+// network front-end — per-frame service latency (p50/p99/p999, measured
+// by the client) stays flat as connections are added, because point ops
+// are lock-free per shard and nothing on an event loop blocks. Closed
+// loop reports capacity at each concurrency; open loop paces requests
+// on a fixed schedule and measures from the SCHEDULED send time
+// (coordinated-omission-safe), so server stalls appear in the tail
+// instead of silently slowing the generator. Tail columns are named
+// p99_us/p999_us so the baseline diff skips them (tools/bench_diff.py
+// ignores p99|max by default: smoke windows are far too short for
+// stable tails); p50 and throughput are compared.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "benchsupport/reporter.h"
+#include "loadgen/loadgen.h"
+#include "server/server.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pnbbst;
+using namespace pnbbst::bench;
+
+// Runs one (server threads, connections, mode) cell `reps` times and
+// reports the rep with the median p50: on a shared/single-core machine
+// a whole-process scheduler stall lands in the open-loop schedule as
+// hundreds of milliseconds of (real, CO-corrected) queueing delay, and
+// one poisoned rep would read as a 1000x p50 regression in the smoke
+// diff. Same median-rep convention as fig_sharded's wide-scan cells.
+void run_point(Table& table, const BenchConfig& cfg, unsigned srv_threads,
+               unsigned conns, double target_qps, unsigned batch,
+               const WorkloadMix& mix, int reps) {
+  net::ServerMap map(RangeSplitter<std::int64_t>{0, cfg.key_range});
+  {
+    Xoshiro256 rng(mix64(cfg.seed ^ 0xC0FFEE));
+    std::size_t inserted = 0;
+    const auto target = static_cast<std::size_t>(
+        cfg.prefill_density * static_cast<double>(cfg.key_range));
+    while (inserted < target) {
+      const auto k = static_cast<std::int64_t>(
+          rng.next_bounded(static_cast<std::uint64_t>(cfg.key_range)));
+      inserted += map.insert(k, k);
+    }
+  }
+
+  net::ServerConfig scfg;
+  scfg.loops = srv_threads;
+  scfg.scan_threads = 2;
+  net::Server server(map, scfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "fig_e2e: server failed to start\n");
+    std::exit(1);
+  }
+
+  loadgen::LoadOptions lopts;
+  lopts.port = server.port();
+  lopts.connections = conns;
+  lopts.seconds = cfg.seconds;
+  lopts.target_qps = target_qps;
+  lopts.mix = mix;
+  lopts.key_range = cfg.key_range;
+  lopts.seed = cfg.seed;
+  lopts.zipf_theta = cfg.zipf_theta;
+  lopts.batch_size = batch;
+  std::vector<loadgen::LoadResult> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) runs.push_back(run_load(lopts));
+  server.stop();
+  std::sort(runs.begin(), runs.end(),
+            [](const loadgen::LoadResult& a, const loadgen::LoadResult& b) {
+              return a.latency_ns.p50() < b.latency_ns.p50();
+            });
+  const loadgen::LoadResult& r = runs[runs.size() / 2];
+
+  char mode[32];
+  if (target_qps > 0.0) {
+    std::snprintf(mode, sizeof(mode), "open@%.0fk", target_qps / 1000.0);
+  } else {
+    std::snprintf(mode, sizeof(mode), "closed");
+  }
+  table.add_row(
+      {Table::num(std::int64_t{srv_threads}), Table::num(std::int64_t{conns}),
+       mode, Table::num(r.qps() / 1000.0, 2),
+       Table::num(r.ops_per_s() / 1000.0, 2),
+       Table::num(static_cast<double>(r.latency_ns.p50()) / 1000.0, 1),
+       Table::num(static_cast<double>(r.latency_ns.p99()) / 1000.0, 1),
+       Table::num(static_cast<double>(r.latency_ns.p999()) / 1000.0, 1),
+       Table::num(r.retries), Table::num(r.errors)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = smoke_mode(cli);
+  BenchConfig base = config_from_cli(cli);
+  // Network round trips need a longer window than the in-process smoke
+  // default (20 ms barely covers connection setup); --secs still wins.
+  if (smoke) base.seconds = cli.get_double("secs", 0.1);
+  const auto srv_threads =
+      sweep_list(cli, "loops", smoke, {1}, {1, 2});
+  const auto conns = sweep_list(cli, "conns", smoke, {1, 2}, {1, 2, 4, 8});
+  const double open_qps =
+      cli.get_double("qps", smoke ? 3000.0 : 20000.0);
+  const auto batch = static_cast<unsigned>(cli.get_int("batch", 0));
+  const double find_frac = cli.get_double("findfrac", 0.9);
+  // Smoke windows are ~100 ms: take 3 reps per cell and report the
+  // median-p50 rep (see run_point). Full windows are long enough that
+  // one rep already averages over scheduler stalls.
+  const int reps = static_cast<int>(cli.get_int("reps", smoke ? 3 : 1));
+  Reporter rep(cli, "Fig.E2E",
+               "loopback service throughput and SLO latency vs server "
+               "threads and connections");
+  for (const auto& unknown : cli.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+  const double upd = (1.0 - find_frac) / 2.0;
+  const WorkloadMix mix{upd, upd, find_frac, 0.0, 0};
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), "mix=%s batch=%u",
+                mix.describe().c_str(), batch);
+  rep.preamble(params_string(base, extra));
+
+  // No `late` column on purpose: open-loop late-send counts are raw
+  // scheduler noise on a busy machine (and always noisy in the ~100 ms
+  // smoke window), the exact small-count class the baseline diff cannot
+  // tolerance (LoadResult::late_sends still carries it for API users).
+  Table table({"srv_threads", "conn_threads", "mode", "kqps", "kops/s",
+               "p50_us", "p99_us", "p999_us", "retries", "errors"});
+  for (auto st : srv_threads) {
+    for (auto c : conns) {
+      // Closed loop: capacity at this concurrency.
+      run_point(table, base, static_cast<unsigned>(st),
+                static_cast<unsigned>(c), 0.0, batch, mix, reps);
+      // Open loop: fixed arrival schedule, CO-safe latency.
+      run_point(table, base, static_cast<unsigned>(st),
+                static_cast<unsigned>(c), open_qps, batch, mix, reps);
+    }
+  }
+  rep.emit(table);
+  return 0;
+}

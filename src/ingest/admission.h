@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <utility>
 
@@ -41,15 +42,63 @@ struct AdmissionConfig {
   }
 };
 
-// Admission gate shared by the batch surfaces: returns true when the batch
-// may proceed. `gauge()` reads the container's retired-bytes gauge;
-// `wait(limit, timeout)` blocks until the gauge is <= limit or the timeout
-// passes (LifetimeManager::wait_retired_bytes_below has this shape).
+// How one admission decision resolved. The split matters operationally:
+// kDeferred and kTimedOut both bounce the batch (BatchResult::deferred),
+// but a deferral is the configured fast-shed path while a timeout means a
+// blocking caller waited the full block_timeout and reclamation STILL had
+// not caught up — sustained timeouts are the "raise the watermark or drop
+// snapshots" signal. Containers aggregate these into per-container gauges
+// (ShardedPnbMap::admission_stats) so shed rates are observable beyond the
+// per-call BatchResult, e.g. by a serving layer's STATS command.
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmitted,          // under the watermark; no wait
+  kAdmittedAfterWait, // kBlock: waited, reclamation caught up in time
+  kDeferred,          // kDefer: over the watermark, bounced immediately
+  kTimedOut,          // kBlock: waited block_timeout, gauge never fell
+};
+
+constexpr bool admitted(AdmissionOutcome o) noexcept {
+  return o == AdmissionOutcome::kAdmitted ||
+         o == AdmissionOutcome::kAdmittedAfterWait;
+}
+
+// Admission gate shared by the batch surfaces. `gauge()` reads the
+// container's retired-bytes gauge; `wait(limit, timeout)` blocks until the
+// gauge is <= limit or the timeout passes
+// (LifetimeManager::wait_retired_bytes_below has this shape).
+template <class GaugeFn, class WaitFn>
+AdmissionOutcome admit_batch_outcome(const AdmissionConfig& cfg,
+                                     GaugeFn&& gauge, WaitFn&& wait) {
+  if (cfg.unlimited() || gauge() <= cfg.retired_bytes_watermark) {
+    return AdmissionOutcome::kAdmitted;
+  }
+  if (cfg.policy == AdmissionConfig::OverLimit::kDefer) {
+    return AdmissionOutcome::kDeferred;
+  }
+  return wait(cfg.retired_bytes_watermark, cfg.block_timeout)
+             ? AdmissionOutcome::kAdmittedAfterWait
+             : AdmissionOutcome::kTimedOut;
+}
+
+// Boolean shim over admit_batch_outcome for callers that only need the
+// go/no-go answer.
 template <class GaugeFn, class WaitFn>
 bool admit_batch(const AdmissionConfig& cfg, GaugeFn&& gauge, WaitFn&& wait) {
-  if (cfg.unlimited() || gauge() <= cfg.retired_bytes_watermark) return true;
-  if (cfg.policy == AdmissionConfig::OverLimit::kDefer) return false;
-  return wait(cfg.retired_bytes_watermark, cfg.block_timeout);
+  return admitted(admit_batch_outcome(cfg, std::forward<GaugeFn>(gauge),
+                                      std::forward<WaitFn>(wait)));
 }
+
+// Per-container admission gauge snapshot (monotone counters since
+// construction). admitted counts both no-wait and after-wait admissions;
+// blocked counts the kBlock waits that were actually entered (admitted
+// after wait + timed out), so blocked - timed_out = waits that succeeded.
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t timed_out = 0;
+
+  std::uint64_t shed() const noexcept { return deferred + timed_out; }
+};
 
 }  // namespace pnbbst::ingest

@@ -1,0 +1,170 @@
+#include "loadgen/loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "loadgen/client.h"
+#include "util/spin_barrier.h"
+#include "util/timer.h"
+
+namespace pnbbst::loadgen {
+
+namespace {
+
+using net::BatchEntry;
+using net::Client;
+using net::Status;
+
+// One connection's traffic loop. Returns its private result; the caller
+// merges. `tid` seeds the op stream (deterministic per connection).
+LoadResult drive_connection(const LoadOptions& opts, unsigned tid,
+                            SpinBarrier& barrier,
+                            const std::atomic<bool>& stop) {
+  LoadResult r;
+  Client client;
+  if (!client.connect(opts.host, opts.port)) {
+    ++r.errors;
+    barrier.arrive_and_wait();
+    return r;
+  }
+  OpStream stream(opts.mix, opts.key_range, opts.seed, tid, opts.zipf_theta);
+
+  // Open-loop pacing: this connection owes a request every period_ns.
+  const bool open_loop = opts.target_qps > 0.0;
+  const double conn_qps =
+      open_loop ? opts.target_qps /
+                      static_cast<double>(opts.connections == 0
+                                              ? 1
+                                              : opts.connections)
+                : 0.0;
+  const auto period_ns =
+      open_loop ? static_cast<std::uint64_t>(1e9 / conn_qps) : 0;
+
+  std::vector<BatchEntry> pending;
+  barrier.arrive_and_wait();
+  const std::uint64_t t0 = now_ns();
+  std::uint64_t next_due = t0;
+
+  while (!stop.load(std::memory_order_acquire)) {
+    std::uint64_t issue_ref = now_ns();  // latency reference (closed loop)
+    if (open_loop) {
+      // Wait for the schedule — but never skip a due request. Past-due
+      // sends go out immediately and their latency keeps the scheduled
+      // time as reference, charging the backlog to the tail
+      // (coordinated-omission correction).
+      const std::uint64_t due = next_due;
+      std::uint64_t now = now_ns();
+      if (now < due) {
+        if (due - now > 100000) {  // > 100 us: sleep, then trim the rest
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(due - now - 50000));
+        }
+        while ((now = now_ns()) < due) {
+        }
+      } else if (now > due + period_ns) {
+        ++r.late_sends;
+      }
+      issue_ref = due;
+      next_due = due + period_ns;
+    }
+
+    bool ok = true;
+    if (opts.batch_size > 0) {
+      pending.clear();
+      while (pending.size() < opts.batch_size) {
+        const Op op = stream.next();
+        if (op.kind == OpKind::kInsert) {
+          pending.push_back(BatchEntry::insert(op.key, op.key));
+        } else if (op.kind == OpKind::kErase) {
+          pending.push_back(BatchEntry::erase(op.key));
+        }
+      }
+      const auto br = client.batch(pending);
+      if (br.status == Status::kOk) {
+        r.ops += br.applied;
+      } else if (br.status == Status::kRetry) {
+        ++r.retries;
+      } else {
+        ok = false;
+      }
+    } else {
+      const Op op = stream.next();
+      switch (op.kind) {
+        case OpKind::kInsert: {
+          const auto ar = client.put(op.key, op.key);
+          ok = ar.status == Status::kOk;
+          r.ops += ok;
+          break;
+        }
+        case OpKind::kErase: {
+          const auto ar = client.del(op.key);
+          ok = ar.status == Status::kOk;
+          r.ops += ok;
+          break;
+        }
+        case OpKind::kFind: {
+          const auto gr = client.get(op.key);
+          ok = gr.status == Status::kOk || gr.status == Status::kNotFound;
+          r.ops += ok;
+          r.not_found += gr.status == Status::kNotFound;
+          break;
+        }
+        case OpKind::kRangeScan: {
+          const auto rr = client.range(op.key, op.key2, opts.range_limit);
+          ok = rr.status == Status::kOk;
+          r.ops += ok;
+          break;
+        }
+      }
+    }
+    ++r.frames;
+    r.latency_ns.record(now_ns() - issue_ref);
+    if (!ok) {
+      ++r.errors;
+      if (!client.connected()) break;  // transport died; stop this conn
+    }
+  }
+  r.elapsed_s = static_cast<double>(now_ns() - t0) * 1e-9;
+  return r;
+}
+
+}  // namespace
+
+LoadResult run_load(const LoadOptions& opts) {
+  const unsigned conns = opts.connections == 0 ? 1 : opts.connections;
+  // +1: the coordinating thread joins the start barrier so every
+  // connection begins its window simultaneously.
+  SpinBarrier barrier(conns + 1);
+  std::atomic<bool> stop{false};
+  std::vector<LoadResult> parts(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (unsigned t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      parts[t] = drive_connection(opts, t, barrier, stop);
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::duration<double>(opts.seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  LoadResult total;
+  double max_elapsed = 0.0;
+  for (const LoadResult& p : parts) {
+    total.ops += p.ops;
+    total.frames += p.frames;
+    total.retries += p.retries;
+    total.not_found += p.not_found;
+    total.errors += p.errors;
+    total.late_sends += p.late_sends;
+    total.latency_ns.merge(p.latency_ns);
+    if (p.elapsed_s > max_elapsed) max_elapsed = p.elapsed_s;
+  }
+  total.elapsed_s = max_elapsed;
+  return total;
+}
+
+}  // namespace pnbbst::loadgen

@@ -1,0 +1,77 @@
+// Load generator for the PNB-KV server: closed-loop and open-loop
+// drivers over N client connections, reporting throughput and
+// p50/p99/p999 latency from the shared Histogram support.
+//
+// Closed loop (target_qps == 0): every connection issues its next
+// request the moment the previous response lands. Throughput is the
+// system's capacity at that concurrency; latency is pure service+RTT
+// time. Classic benchmark mode, but it UNDER-reports latency when the
+// server slows down, because a slow server also slows the arrival rate.
+//
+// Open loop (target_qps > 0): requests are due on a fixed schedule —
+// connection c's i-th request at t0 + i * (connections / target_qps) —
+// independent of how fast the server answers, and latency is measured
+// from the SCHEDULED send time, not the actual one. A request the
+// generator could not even send on time (because the previous response
+// was still outstanding) therefore shows its full queueing delay. That
+// is the coordinated-omission correction: a stalled server inflates the
+// recorded tail instead of silently pausing the load.
+//
+// Per-connection op streams come from src/workload/ (WorkloadMix +
+// OpStream: uniform or Zipf keys), seeded deterministically per
+// connection (OpStream::stream_seed), so two runs with the same options
+// issue identical request sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.h"
+#include "workload/workload.h"
+
+namespace pnbbst::loadgen {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned connections = 2;
+  double seconds = 1.0;
+  // 0 = closed loop; > 0 = open loop at this TOTAL rate across all
+  // connections (each connection paces at target_qps / connections).
+  double target_qps = 0.0;
+  WorkloadMix mix = WorkloadMix::read_mostly();
+  std::int64_t key_range = 1 << 16;
+  std::uint64_t seed = 42;
+  double zipf_theta = 0.0;
+  // RANGE frames: limit field (0 = merged count, > 0 = first-n pairs).
+  std::uint32_t range_limit = 0;
+  // > 0: updates are coalesced into BATCH frames of this many entries
+  // (finds/scans in the mix are ignored); 0: every op is a point frame.
+  unsigned batch_size = 0;
+};
+
+struct LoadResult {
+  std::uint64_t ops = 0;        // acked ops (each BATCH entry counts)
+  std::uint64_t frames = 0;     // request frames round-tripped
+  std::uint64_t retries = 0;    // kRetry responses (shed batches)
+  std::uint64_t not_found = 0;  // GET misses (expected traffic)
+  std::uint64_t errors = 0;     // transport failures / unexpected status
+  std::uint64_t late_sends = 0; // open loop: sends already past schedule
+  double elapsed_s = 0.0;
+  Histogram latency_ns;         // per-frame; open loop: from scheduled time
+
+  double qps() const noexcept {
+    return elapsed_s > 0.0 ? static_cast<double>(frames) / elapsed_s : 0.0;
+  }
+  double ops_per_s() const noexcept {
+    return elapsed_s > 0.0 ? static_cast<double>(ops) / elapsed_s : 0.0;
+  }
+};
+
+// Runs the configured load against a live server; blocks until the timed
+// window ends and every connection drained its last response. Connection
+// failures count into `errors` (a result with frames == 0 and errors > 0
+// means the server was unreachable).
+LoadResult run_load(const LoadOptions& opts);
+
+}  // namespace pnbbst::loadgen

@@ -1,0 +1,509 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <iterator>
+#include <unordered_map>
+#include <utility>
+
+#include "ingest/admission.h"
+#include "ingest/batch_apply.h"
+#include "ingest/options.h"
+#include "lifecycle/lifetime_manager.h"
+
+namespace pnbbst::net {
+
+namespace {
+
+// epoll_event.data tags for the two non-connection fds a loop watches.
+// Conn pointers are heap-allocated and aligned, so they can never equal
+// these small sentinel values.
+constexpr std::uint64_t kWakeTag = 0;
+constexpr std::uint64_t kListenTag = 1;
+
+bool add_fd(int epoll_fd, int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+}  // namespace
+
+// Per-connection state; owned by exactly one Loop, so no synchronization.
+struct Server::Conn {
+  explicit Conn(int f, std::size_t max_frame) : fd(f), reader(max_frame) {}
+  int fd;
+  FrameReader reader;
+  WriteBuffer out;
+  bool want_write = false;        // EPOLLOUT currently registered
+  bool close_after_flush = false; // protocol violation: drain, then drop
+};
+
+struct Server::Loop {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  bool owns_listener = false;
+  std::mutex mu;
+  std::vector<int> pending;  // fds accepted elsewhere, to adopt (under mu)
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+};
+
+Server::Server(ServerMap& map, ServerConfig cfg)
+    : map_(map), cfg_(std::move(cfg)), executor_(cfg_.scan_threads) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    std::perror("server: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "server: bad host %s\n", cfg_.host.c_str());
+    stop();
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    std::perror("server: bind/listen");
+    stop();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &blen) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  // Overload shedding contract: the loops must never block inside
+  // admission, so the serving map's policy is forced to kDefer — a batch
+  // over the watermark bounces out of apply_batch and the client sees a
+  // protocol-level kRetry. The watermark itself stays the caller's
+  // unless the config overrides it.
+  ingest::AdmissionConfig adm = map_.admission();
+  if (cfg_.shed_watermark) adm.retired_bytes_watermark = *cfg_.shed_watermark;
+  adm.policy = ingest::AdmissionConfig::OverLimit::kDefer;
+  map_.set_admission(adm);
+
+  const unsigned nloops = cfg_.loops == 0 ? 1 : cfg_.loops;
+  for (unsigned i = 0; i < nloops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0 ||
+        !add_fd(loop->epoll_fd, loop->wake_fd, EPOLLIN, kWakeTag)) {
+      std::perror("server: epoll/eventfd");
+      stop();
+      return false;
+    }
+    loop->owns_listener = (i == 0);
+    if (loop->owns_listener &&
+        !add_fd(loop->epoll_fd, listen_fd_, EPOLLIN, kListenTag)) {
+      std::perror("server: epoll add listener");
+      stop();
+      return false;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(loops_.size());
+  for (auto& loop : loops_) {
+    threads_.emplace_back([this, l = loop.get()] { loop_main(*l); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    for (auto& loop : loops_) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(loop->wake_fd, &one, sizeof(one));
+    }
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+  for (auto& loop : loops_) {
+    for (auto& [fd, conn] : loop->conns) {
+      ::close(fd);
+      conns_open_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop->conns.clear();
+    if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+  }
+  loops_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ServerStats Server::stats() const noexcept {
+  ServerStats s;
+  s.ops_served = ops_served_.load(std::memory_order_relaxed);
+  s.conns_accepted = conns_accepted_.load(std::memory_order_relaxed);
+  s.conns_open = conns_open_.load(std::memory_order_relaxed);
+  s.batch_ops_applied = batch_ops_applied_.load(std::memory_order_relaxed);
+  s.shed_responses = shed_responses_.load(std::memory_order_relaxed);
+  s.range_queries = range_queries_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::loop_main(Loop& loop) {
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    // The 100 ms timeout is a belt over the eventfd wake: a missed wake
+    // costs one tick of shutdown latency, never a hang.
+    const int n = ::epoll_wait(loop.epoll_fd, events, 64, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(loop.wake_fd, &drain, sizeof(drain));
+        adopt_pending(loop);
+        continue;
+      }
+      if (tag == kListenTag) {
+        handle_accepts(loop);
+        continue;
+      }
+      // Each registered fd yields at most one event per wait, and no
+      // handler closes a conn other than its own, so `c` is alive here.
+      // It may die inside handle_readable though — re-find by the saved
+      // fd (never through c) before the EPOLLOUT leg.
+      auto* c = reinterpret_cast<Conn*>(static_cast<std::uintptr_t>(tag));
+      const int fd = c->fd;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_conn(loop, *c);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) handle_readable(loop, *c);
+      const auto it = loop.conns.find(fd);
+      if (it != loop.conns.end() && it->second.get() == c &&
+          (events[i].events & EPOLLOUT) != 0) {
+        flush_writes(loop, *c);
+      }
+    }
+  }
+}
+
+void Server::handle_accepts(Loop& loop) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays registered
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    Loop& dst = *loops_[target];
+    if (&dst == &loop) {
+      auto conn = std::make_unique<Conn>(fd, cfg_.max_frame_bytes);
+      if (!add_fd(loop.epoll_fd, fd, EPOLLIN,
+                  reinterpret_cast<std::uintptr_t>(conn.get()))) {
+        ::close(fd);
+        continue;
+      }
+      conns_open_.fetch_add(1, std::memory_order_relaxed);
+      loop.conns.emplace(fd, std::move(conn));
+    } else {
+      {
+        std::lock_guard<std::mutex> lk(dst.mu);
+        dst.pending.push_back(fd);
+      }
+      const std::uint64_t one64 = 1;
+      [[maybe_unused]] ssize_t r =
+          ::write(dst.wake_fd, &one64, sizeof(one64));
+    }
+  }
+}
+
+void Server::adopt_pending(Loop& loop) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lk(loop.mu);
+    fds.swap(loop.pending);
+  }
+  for (int fd : fds) {
+    auto conn = std::make_unique<Conn>(fd, cfg_.max_frame_bytes);
+    if (!add_fd(loop.epoll_fd, fd, EPOLLIN,
+                reinterpret_cast<std::uintptr_t>(conn.get()))) {
+      ::close(fd);
+      continue;
+    }
+    conns_open_.fetch_add(1, std::memory_order_relaxed);
+    loop.conns.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::handle_readable(Loop& loop, Conn& c) {
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.reader.feed(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown by the peer
+      close_conn(loop, c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(loop, c);
+    return;
+  }
+  // Decode every complete frame this burst delivered; responses coalesce
+  // in c.out and leave in one flush below.
+  std::vector<std::uint8_t> body;
+  while (!c.close_after_flush) {
+    const FrameReader::Next r = c.reader.next(body);
+    if (r == FrameReader::Next::kFrame) {
+      handle_frame(c, body);
+      continue;
+    }
+    if (r == FrameReader::Next::kNeedMore) break;
+    // kTooLarge: reject and drop — the stream offset is unusable.
+    bad_frames_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t at = c.out.begin_frame();
+    WireWriter w(c.out.raw());
+    w.u8(static_cast<std::uint8_t>(Status::kBadRequest));
+    c.out.end_frame(at);
+    c.close_after_flush = true;
+  }
+  flush_writes(loop, c);
+}
+
+void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
+  WireReader req(body);
+  const auto opcode = static_cast<Opcode>(req.u8());
+  const std::size_t at = c.out.begin_frame();
+  WireWriter w(c.out.raw());
+  ops_served_.fetch_add(1, std::memory_order_relaxed);
+
+  switch (opcode) {
+    case Opcode::kGet: {
+      const std::int64_t key = req.i64();
+      if (!req.done()) break;
+      const auto v = map_.get(key);
+      if (v) {
+        w.u8(static_cast<std::uint8_t>(Status::kOk));
+        w.i64(*v);
+      } else {
+        w.u8(static_cast<std::uint8_t>(Status::kNotFound));
+      }
+      c.out.end_frame(at);
+      return;
+    }
+    case Opcode::kPut: {
+      const std::int64_t key = req.i64();
+      const std::int64_t value = req.i64();
+      if (!req.done()) break;
+      const bool added = map_.insert(key, value);
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      w.u8(added ? 1 : 0);
+      c.out.end_frame(at);
+      return;
+    }
+    case Opcode::kDel: {
+      const std::int64_t key = req.i64();
+      if (!req.done()) break;
+      const bool removed = map_.erase(key);
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      w.u8(removed ? 1 : 0);
+      c.out.end_frame(at);
+      return;
+    }
+    case Opcode::kBatch: {
+      const std::uint32_t n = req.u32();
+      if (req.remaining() != static_cast<std::size_t>(n) * kBatchEntryBytes) {
+        break;
+      }
+      std::vector<ServerMap::batch_op> ops;
+      ops.reserve(n);
+      bool bad = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint8_t kind = req.u8();
+        const std::int64_t key = req.i64();
+        const std::int64_t value = req.i64();
+        if (kind > 1) {
+          bad = true;
+          break;
+        }
+        ops.push_back(kind == 0 ? ServerMap::batch_op::insert(key, value)
+                                : ServerMap::batch_op::erase(key));
+      }
+      if (bad || !req.done()) break;
+      const ingest::BatchResult r = map_.apply_batch(
+          std::move(ops), ingest::IngestOptions(cfg_.scan_threads, executor_));
+      if (!r.admitted()) {
+        // Overload shed: retired-bytes watermark exceeded, batch bounced
+        // untouched (kDefer policy installed at start()).
+        shed_responses_.fetch_add(1, std::memory_order_relaxed);
+        w.u8(static_cast<std::uint8_t>(Status::kRetry));
+        w.u64(r.deferred);
+        c.out.end_frame(at);
+        return;
+      }
+      batch_ops_applied_.fetch_add(r.applied, std::memory_order_relaxed);
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      w.u64(r.applied);
+      w.u64(r.inserted);
+      w.u64(r.erased);
+      c.out.end_frame(at);
+      return;
+    }
+    case Opcode::kRange: {
+      const std::int64_t lo = req.i64();
+      const std::int64_t hi = req.i64();
+      std::uint32_t limit = req.u32();
+      if (!req.done()) break;
+      range_queries_.fetch_add(1, std::memory_order_relaxed);
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      if (limit == 0) {
+        // Pure merged count: per-shard snapshot counts fan out across
+        // the server's scan executor.
+        const std::size_t count =
+            lo > hi ? 0
+                    : map_.parallel_range_count(
+                          lo, hi,
+                          scan::ParallelScanOptions(cfg_.scan_threads,
+                                                    executor_));
+        w.u64(count);
+        w.u32(0);
+      } else {
+        // Paired responses do work bounded by `limit` (merged
+        // range_first), never by the queried key span — a wire client
+        // must not be able to ask for an unbounded materialization.
+        if (limit > cfg_.range_pair_cap) limit = cfg_.range_pair_cap;
+        const auto pairs =
+            lo > hi ? std::vector<std::pair<std::int64_t, std::int64_t>>{}
+                    : map_.range_first(lo, hi, limit);
+        w.u64(pairs.size());
+        w.u32(static_cast<std::uint32_t>(pairs.size()));
+        for (const auto& [k, v] : pairs) {
+          w.i64(k);
+          w.i64(v);
+        }
+      }
+      c.out.end_frame(at);
+      return;
+    }
+    case Opcode::kStats: {
+      if (!req.done()) break;
+      const ServerStats ss = stats();
+      const ingest::AdmissionStats as = map_.admission_stats();
+      const std::pair<StatId, std::uint64_t> entries[] = {
+          {StatId::kOpsServed, ss.ops_served},
+          {StatId::kConnsAccepted, ss.conns_accepted},
+          {StatId::kConnsOpen, ss.conns_open},
+          {StatId::kBatchOpsApplied, ss.batch_ops_applied},
+          {StatId::kBatchesAdmitted, as.admitted},
+          {StatId::kBatchesDeferred, as.deferred},
+          {StatId::kBatchesBlocked, as.blocked},
+          {StatId::kBatchesTimedOut, as.timed_out},
+          {StatId::kShedResponses, ss.shed_responses},
+          {StatId::kRangeQueries, ss.range_queries},
+          {StatId::kRetiredBytes, map_.retired_bytes()},
+          {StatId::kRetiredMaps, map_.retired_maps()},
+          {StatId::kActiveLeases, map_.lifetime().active_leases()},
+      };
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      w.u32(static_cast<std::uint32_t>(std::size(entries)));
+      for (const auto& [id, value] : entries) {
+        w.u32(static_cast<std::uint32_t>(id));
+        w.u64(value);
+      }
+      c.out.end_frame(at);
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Malformed payload or unknown opcode: answer kBadRequest and drop the
+  // connection once the response drains. Any partial response bytes the
+  // switch wrote are discarded by rewinding to the frame start.
+  bad_frames_.fetch_add(1, std::memory_order_relaxed);
+  c.out.raw().resize(at + kLenPrefixBytes);
+  WireWriter werr(c.out.raw());
+  werr.u8(static_cast<std::uint8_t>(Status::kBadRequest));
+  c.out.end_frame(at);
+  c.close_after_flush = true;
+}
+
+void Server::flush_writes(Loop& loop, Conn& c) {
+  while (!c.out.empty()) {
+    const ssize_t n =
+        ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out.consumed(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!c.want_write) {
+        c.want_write = true;
+        update_write_interest(loop, c);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(loop, c);
+    return;
+  }
+  if (c.close_after_flush) {
+    close_conn(loop, c);
+    return;
+  }
+  if (c.want_write) {
+    c.want_write = false;
+    update_write_interest(loop, c);
+  }
+}
+
+void Server::update_write_interest(Loop& loop, Conn& c) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = reinterpret_cast<std::uintptr_t>(&c);
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void Server::close_conn(Loop& loop, Conn& c) {
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  conns_open_.fetch_sub(1, std::memory_order_relaxed);
+  loop.conns.erase(c.fd);  // destroys c; do not touch it afterwards
+}
+
+}  // namespace pnbbst::net

@@ -401,12 +401,14 @@ class ShardedPnbMap {
                                   const ingest::IngestOptions& opts = {}) {
     ingest::BatchResult total;
     if (ops.empty()) return total;
-    if (!ingest::admit_batch(
-            admission(),
-            [this] { return lifetime_.retired_bytes(); },
-            [this](std::size_t limit, std::chrono::milliseconds timeout) {
-              return lifetime_.wait_retired_bytes_below(limit, timeout);
-            })) {
+    const ingest::AdmissionOutcome adm = ingest::admit_batch_outcome(
+        admission(),
+        [this] { return lifetime_.retired_bytes(); },
+        [this](std::size_t limit, std::chrono::milliseconds timeout) {
+          return lifetime_.wait_retired_bytes_below(limit, timeout);
+        });
+    record_admission(adm);
+    if (!ingest::admitted(adm)) {
       total.deferred = ops.size();
       return total;
     }
@@ -790,6 +792,21 @@ class ShardedPnbMap {
     return admission_;
   }
 
+  // Monotone admission-outcome gauges, aggregated across every apply_batch
+  // since construction (BatchResult::deferred is per-call; these are the
+  // per-container source of truth for shed-rate reporting — the network
+  // layer's STATS command reads them). Lock-free relaxed reads: the
+  // counters are independent, so a snapshot taken under load may be
+  // mid-update by one batch, which is fine for gauges.
+  ingest::AdmissionStats admission_stats() const noexcept {
+    ingest::AdmissionStats s;
+    s.admitted = adm_admitted_.load(std::memory_order_relaxed);
+    s.blocked = adm_blocked_.load(std::memory_order_relaxed);
+    s.deferred = adm_deferred_.load(std::memory_order_relaxed);
+    s.timed_out = adm_timed_out_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   // One immutable (splitter, shards) routing generation. Published through
   // table_; operations load it once and stay internally consistent.
@@ -1070,11 +1087,36 @@ class ShardedPnbMap {
     return out;
   }
 
+  void record_admission(ingest::AdmissionOutcome o) noexcept {
+    using ingest::AdmissionOutcome;
+    switch (o) {
+      case AdmissionOutcome::kAdmitted:
+        adm_admitted_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AdmissionOutcome::kAdmittedAfterWait:
+        adm_admitted_.fetch_add(1, std::memory_order_relaxed);
+        adm_blocked_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AdmissionOutcome::kDeferred:
+        adm_deferred_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case AdmissionOutcome::kTimedOut:
+        adm_blocked_.fetch_add(1, std::memory_order_relaxed);
+        adm_timed_out_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
   R* reclaimer_;
   lifecycle::LifetimeManager<R> lifetime_;
   // Guarded by admission_mutex_ (runtime-tunable from any thread).
   ingest::AdmissionConfig admission_{};
   mutable std::mutex admission_mutex_;
+  // Admission-outcome gauges (admission_stats()); relaxed monotone counters.
+  std::atomic<std::uint64_t> adm_admitted_{0};
+  std::atomic<std::uint64_t> adm_blocked_{0};
+  std::atomic<std::uint64_t> adm_deferred_{0};
+  std::atomic<std::uint64_t> adm_timed_out_{0};
   std::atomic<const Table*> table_{nullptr};
   // Serializes reshard()/rebuild_shard() (one migration at a time).
   mutable std::mutex reshard_mutex_;

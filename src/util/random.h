@@ -102,7 +102,8 @@ class Xoshiro256 {
 
 // Derives a stream seed for thread `tid` from a base seed: statistically
 // independent streams, fully reproducible.
-inline std::uint64_t thread_seed(std::uint64_t base, unsigned tid) noexcept {
+constexpr std::uint64_t thread_seed(std::uint64_t base,
+                                    unsigned tid) noexcept {
   return mix64(base ^ (0xA5A5A5A5DEADBEEFULL + tid * 0x9E3779B97F4A7C15ULL));
 }
 

@@ -51,11 +51,21 @@ struct Op {
 // Deterministic per-thread op stream over keys [0, key_range).
 class OpStream {
  public:
+  // The exact RNG seed a given (base_seed, thread_id) stream starts
+  // from. Exposed so harnesses (loadgen, benches) can document and test
+  // reproducibility: two OpStreams with equal (mix, key_range,
+  // base_seed, thread_id, zipf_theta) emit identical op sequences on
+  // any machine, regardless of which OS thread runs them.
+  static constexpr std::uint64_t stream_seed(std::uint64_t base_seed,
+                                             unsigned thread_id) noexcept {
+    return thread_seed(base_seed, thread_id);
+  }
+
   OpStream(const WorkloadMix& mix, std::int64_t key_range,
            std::uint64_t base_seed, unsigned thread_id, double zipf_theta = 0.0)
       : mix_(mix),
         key_range_(key_range),
-        rng_(thread_seed(base_seed, thread_id)),
+        rng_(stream_seed(base_seed, thread_id)),
         zipf_(zipf_theta > 0.0 ? std::make_unique<ZipfSampler>(
                                      static_cast<std::uint64_t>(key_range),
                                      zipf_theta)

@@ -40,6 +40,7 @@ BENCHES = {
     "Fig.E2": "fig2_mixed_throughput",
     "Fig.E3": "fig3_rangescan_mix",
     "Fig.E4": "fig4_scan_latency",
+    "Fig.E2E": "fig_e2e",
     "Fig.E7": "fig7_scan_scaling",
     "Fig.SHARD": "fig_sharded_throughput",
     "Micro.OPS": "micro_ops",
