@@ -9,6 +9,13 @@
 // outside CI. It now uses the repo's Cli/Table/Reporter stack: same
 // --smoke --json document as every other bench, registered under the
 // bench-smoke CTest label, and swept by tools/bench_smoke_diff.py.
+//
+// The `obs` column is the observability ablation (DESIGN.md §14): `off`
+// rows run the default NullOpStats policy (the zero-cost contract —
+// nothing is instrumented), `on` rows run obs::RegistryOpStats, where
+// every mechanism counter bump is a cacheline-striped relaxed increment
+// into the process-wide metrics registry. The on/off delta is the whole
+// enabled-registry overhead, guarded by the committed smoke baseline.
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include "benchsupport/reporter.h"
 #include "mem/alloc_policy.h"
 #include "mem/arena.h"
+#include "obs/registry.h"
 #include "util/table.h"
 
 namespace {
@@ -49,7 +57,7 @@ double ns_per_op(std::uint64_t ops, std::uint64_t seed, F&& body) {
 
 template <class Tree>
 void run_rows(Table& table, Tree& tree, const char* alloc_name,
-              const MicroCfg& m) {
+              const MicroCfg& m, const char* obs_name = "off") {
   auto set = adapt(tree);
   prefill(set, m.key_range, 0.5, m.seed);
   const auto range = static_cast<std::uint64_t>(m.key_range);
@@ -67,13 +75,14 @@ void run_rows(Table& table, Tree& tree, const char* alloc_name,
                   sink += set.erase(k);
                 }) /
       2.0;
-  table.add_row({name, alloc_name, "insert+erase", Table::num(upd, 1)});
+  table.add_row(
+      {name, alloc_name, obs_name, "insert+erase", Table::num(upd, 1)});
 
   const double fnd = ns_per_op(m.ops, m.seed + 2, [&](Xoshiro256& rng) {
     const long k = static_cast<long>(rng.next_bounded(range));
     sink += set.contains(k);
   });
-  table.add_row({name, alloc_name, "contains", Table::num(fnd, 1)});
+  table.add_row({name, alloc_name, obs_name, "contains", Table::num(fnd, 1)});
 
   for (const long width : m.widths) {
     if (width >= m.key_range) continue;
@@ -85,7 +94,7 @@ void run_rows(Table& table, Tree& tree, const char* alloc_name,
         });
     char op[48];
     std::snprintf(op, sizeof(op), "range_count(%ld)", width);
-    table.add_row({name, alloc_name, op, Table::num(scn, 1)});
+    table.add_row({name, alloc_name, obs_name, op, Table::num(scn, 1)});
   }
   g_sink.fetch_add(sink, std::memory_order_relaxed);
 }
@@ -114,7 +123,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.ops));
   rep.preamble(params_string(base, extra));
 
-  Table table({"structure", "alloc", "op", "ns/op"});
+  Table table({"structure", "alloc", "obs", "op", "ns/op"});
   {
     PnbBst<long> t;
     run_rows(table, t, mem::HeapAlloc::kName, m);
@@ -148,6 +157,16 @@ int main(int argc, char** argv) {
           mem::ArenaAlloc>
         t(rec, mem::ArenaAlloc(dom));
     run_rows(table, t, mem::ArenaAlloc::kName, m);
+  }
+  // Observability ablation: same two lock-free trees on the heap, with
+  // every mechanism counter wired into the process-global registry.
+  {
+    PnbBst<long, std::less<long>, EpochReclaimer, obs::RegistryOpStats> t;
+    run_rows(table, t, mem::HeapAlloc::kName, m, "on");
+  }
+  {
+    NbBst<long, std::less<long>, EpochReclaimer, obs::RegistryOpStats> t;
+    run_rows(table, t, mem::HeapAlloc::kName, m, "on");
   }
   rep.emit(table);
   return 0;

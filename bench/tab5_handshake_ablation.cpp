@@ -41,15 +41,15 @@ int main(int argc, char** argv) {
     Tree tree;
     const RunResult r =
         bench_structure(tree, WorkloadMix::with_scans(scan_frac, width), cfg);
-    const auto& s = tree.stats();
-    const double commits = static_cast<double>(s.commits.load());
-    const double aborts = static_cast<double>(s.handshake_aborts.load());
+    const OpStatsSnapshot s = tree.stats().snapshot();
+    const double commits = static_cast<double>(s.commits);
+    const double aborts = static_cast<double>(s.handshake_aborts);
     table.add_row(
         {Table::num(scan_frac * 100.0, 1), Table::num(r.update_mops(), 3),
-         Table::num(r.scans_per_s(), 0), Table::num(s.attempts.load()),
-         Table::num(s.commits.load()), Table::num(s.handshake_aborts.load()),
+         Table::num(r.scans_per_s(), 0), Table::num(s.attempts),
+         Table::num(s.commits), Table::num(s.handshake_aborts),
          Table::num(commits > 0 ? aborts / commits * 100.0 : 0.0, 3),
-         Table::num(s.helps.load()), Table::num(s.validate_fails.load())});
+         Table::num(s.helps), Table::num(s.validate_fails)});
   }
   rep.emit(table);
   return 0;

@@ -59,13 +59,13 @@ void run_one(Table& table, const char* policy, const BenchConfig& cfg) {
   {
     Tree tree(dom);
     r = bench_structure(tree, WorkloadMix::updates_only(), cfg);
-    const auto& st = tree.stats();
+    const OpStatsSnapshot st = tree.stats().snapshot();
     table.add_row({SetAdapter<Tree>::kName, policy, Table::num(r.mops(), 3),
                    Table::num(dom.retired_count()),
                    Table::num(dom.freed_count()),
                    Table::num(dom.pending_count()),
-                   Table::num(st.nodes_retired.load()),
-                   Table::num(st.unpublished_frees.load()), "0", "0"});
+                   Table::num(st.nodes_retired),
+                   Table::num(st.unpublished_frees), "0", "0"});
   }
 }
 
@@ -91,8 +91,9 @@ void run_one_arena(Table& table, const char* policy,
     retired = dom.retired_count();
     freed = dom.freed_count();
     pending = dom.pending_count();
-    nodes_retired = tree.stats().nodes_retired.load();
-    unpub = tree.stats().unpublished_frees.load();
+    const OpStatsSnapshot st = tree.stats().snapshot();
+    nodes_retired = st.nodes_retired;
+    unpub = st.unpublished_frees;
   }
   const mem::AllocStats as = arena.stats();
   table.add_row({SetAdapter<Tree>::kName, policy, Table::num(r.mops(), 3),

@@ -5,11 +5,17 @@
 // generator measures the service's SLO latency (p50/p99/p999 from the
 // scheduled send time, coordinated-omission-safe) and STATS reports the
 // server- and map-side gauges — including the shed counters that would
-// light up under retired-bytes overload.
+// light up under retired-bytes overload. The server also exposes the
+// observability plane (DESIGN.md §14): a Prometheus /metrics HTTP
+// listener on an ephemeral port, announced as a METRICS_URL= line that
+// tools/obs_scrape.py --spawn parses to scrape and validate the page.
 //
 //   build/examples/networked_kv [--events=N] [--conns=N] [--qps=N]
+//                               [--linger-ms=N]
+#include <chrono>
 #include <cstdio>
 #include <inttypes.h>
+#include <thread>
 #include <vector>
 
 #include "loadgen/client.h"
@@ -23,6 +29,9 @@ int main(int argc, char** argv) {
   const long events = cli.get_int("events", 50000);
   const unsigned conns = static_cast<unsigned>(cli.get_int("conns", 2));
   const double qps = cli.get_double("qps", 4000.0);
+  // Keep serving this long after the workload finishes, so an external
+  // scraper (CI's obs_scrape --spawn step) has a window to hit /metrics.
+  const long linger_ms = cli.get_int("linger-ms", 0);
   for (const auto& unknown : cli.unknown()) {
     std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
     return 2;
@@ -32,10 +41,14 @@ int main(int argc, char** argv) {
   net::ServerMap map(RangeSplitter<std::int64_t>{0, kKeySpace});
   net::ServerConfig scfg;
   scfg.loops = 2;
+  scfg.metrics_port = 0;  // ephemeral /metrics HTTP listener
   net::Server server(map, scfg);
   if (!server.start()) return 1;
   std::printf("serving 127.0.0.1:%u (2 event loops, 8 shards)\n",
               server.port());
+  std::printf("METRICS_URL=http://127.0.0.1:%u/metrics\n",
+              server.metrics_port());
+  std::fflush(stdout);
 
   // Bulk load through the wire: BATCH frames funnel into
   // ingest::apply_batch (deduped, shard-parallel) server-side.
@@ -92,14 +105,38 @@ int main(int argc, char** argv) {
   const auto st = reader.stats();
   std::printf("stats: ops_served=%" PRIu64 " conns_accepted=%" PRIu64
               " batch_ops=%" PRIu64 " batches_admitted=%" PRIu64
-              " batches_deferred=%" PRIu64 " retired_bytes=%" PRIu64 "\n",
+              " batches_deferred=%" PRIu64 " batches_shed=%" PRIu64
+              " retired_bytes=%" PRIu64 "\n",
               st.value_or(net::StatId::kOpsServed, 0),
               st.value_or(net::StatId::kConnsAccepted, 0),
               st.value_or(net::StatId::kBatchOpsApplied, 0),
               st.value_or(net::StatId::kBatchesAdmitted, 0),
               st.value_or(net::StatId::kBatchesDeferred, 0),
+              st.value_or(net::StatId::kBatchesShed, 0),
               st.value_or(net::StatId::kRetiredBytes, 0));
+  std::printf("requests: get=%" PRIu64 " put=%" PRIu64 " del=%" PRIu64
+              " batch=%" PRIu64 " range=%" PRIu64 " stats=%" PRIu64
+              " metrics=%" PRIu64 "\n",
+              st.value_or(net::StatId::kReqGet, 0),
+              st.value_or(net::StatId::kReqPut, 0),
+              st.value_or(net::StatId::kReqDel, 0),
+              st.value_or(net::StatId::kReqBatch, 0),
+              st.value_or(net::StatId::kReqRange, 0),
+              st.value_or(net::StatId::kReqStats, 0),
+              st.value_or(net::StatId::kReqMetrics, 0));
 
+  // The binary METRICS opcode serves the same exposition text as the
+  // HTTP listener — print a couple of headline series.
+  const auto mr = reader.metrics();
+  if (mr.status == net::Status::kOk) {
+    std::printf("METRICS opcode: %zu bytes of Prometheus text\n",
+                mr.text.size());
+  }
+
+  if (linger_ms > 0) {
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   server.stop();
   std::printf("done: map holds %zu keys\n", map.size());
   return lr.errors == 0 ? 0 : 1;

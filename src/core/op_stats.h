@@ -9,7 +9,29 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/trace.h"
+
 namespace pnbbst {
+
+// Point-in-time copy of every mechanism counter: plain integers so
+// benches and the obs registry can read/diff without sprinkling
+// .load() calls. NullOpStats returns an all-zero snapshot, letting
+// generic reporting code compile against either policy.
+struct OpStatsSnapshot {
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t handshake_aborts = 0;
+  std::uint64_t freeze_fail_aborts = 0;
+  std::uint64_t validate_fails = 0;
+  std::uint64_t helps = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t scan_helps = 0;
+  std::uint64_t child_cas_failures = 0;
+  std::uint64_t nodes_allocated = 0;
+  std::uint64_t infos_allocated = 0;
+  std::uint64_t nodes_retired = 0;
+  std::uint64_t unpublished_frees = 0;
+};
 
 struct NullOpStats {
   static constexpr bool kEnabled = false;
@@ -26,6 +48,8 @@ struct NullOpStats {
   void inc_infos_allocated() noexcept {}
   void inc_nodes_retired() noexcept {}
   void inc_unpublished_frees(std::uint64_t = 1) noexcept {}
+
+  OpStatsSnapshot snapshot() const noexcept { return {}; }
 };
 
 struct CountingOpStats {
@@ -61,12 +85,26 @@ struct CountingOpStats {
 
   void inc_attempts() noexcept { bump(attempts); }
   void inc_commits() noexcept { bump(commits); }
-  void inc_handshake_aborts() noexcept { bump(handshake_aborts); }
-  void inc_freeze_fail_aborts() noexcept { bump(freeze_fail_aborts); }
+  // The paper-mechanism events also feed the obs trace ring (one relaxed
+  // load + branch when tracing is disabled, the default).
+  void inc_handshake_aborts() noexcept {
+    bump(handshake_aborts);
+    obs::trace_event(obs::TraceKind::kHandshakeAbort);
+  }
+  void inc_freeze_fail_aborts() noexcept {
+    bump(freeze_fail_aborts);
+    obs::trace_event(obs::TraceKind::kFreezeFailAbort);
+  }
   void inc_validate_fails() noexcept { bump(validate_fails); }
-  void inc_helps() noexcept { bump(helps); }
+  void inc_helps() noexcept {
+    bump(helps);
+    obs::trace_event(obs::TraceKind::kHelp, 0);
+  }
   void inc_scans() noexcept { bump(scans); }
-  void inc_scan_helps() noexcept { bump(scan_helps); }
+  void inc_scan_helps() noexcept {
+    bump(scan_helps);
+    obs::trace_event(obs::TraceKind::kHelp, 1);
+  }
   void inc_child_cas_failures() noexcept { bump(child_cas_failures); }
   void inc_nodes_allocated(std::uint64_t n = 1) noexcept {
     nodes_allocated.fetch_add(n, std::memory_order_relaxed);
@@ -75,6 +113,27 @@ struct CountingOpStats {
   void inc_nodes_retired() noexcept { bump(nodes_retired); }
   void inc_unpublished_frees(std::uint64_t n = 1) noexcept {
     unpublished_frees.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  OpStatsSnapshot snapshot() const noexcept {
+    OpStatsSnapshot s;
+    s.attempts = attempts.load(std::memory_order_relaxed);
+    s.commits = commits.load(std::memory_order_relaxed);
+    s.handshake_aborts = handshake_aborts.load(std::memory_order_relaxed);
+    s.freeze_fail_aborts =
+        freeze_fail_aborts.load(std::memory_order_relaxed);
+    s.validate_fails = validate_fails.load(std::memory_order_relaxed);
+    s.helps = helps.load(std::memory_order_relaxed);
+    s.scans = scans.load(std::memory_order_relaxed);
+    s.scan_helps = scan_helps.load(std::memory_order_relaxed);
+    s.child_cas_failures =
+        child_cas_failures.load(std::memory_order_relaxed);
+    s.nodes_allocated = nodes_allocated.load(std::memory_order_relaxed);
+    s.infos_allocated = infos_allocated.load(std::memory_order_relaxed);
+    s.nodes_retired = nodes_retired.load(std::memory_order_relaxed);
+    s.unpublished_frees =
+        unpublished_frees.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:

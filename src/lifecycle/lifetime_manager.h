@@ -61,6 +61,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "reclaim/reclaimer.h"
 
 namespace pnbbst::lifecycle {
@@ -167,6 +168,7 @@ class LifetimeManager {
       g = cur;
     }
     active_leases_.fetch_add(1, std::memory_order_relaxed);
+    obs::trace_event(obs::TraceKind::kLeaseOpen, g->id);
     return Lease(this, g);
   }
 
@@ -330,6 +332,8 @@ template <class R>
   requires Reclaimer<R>
 void SnapshotLease<R>::release() noexcept {
   if (mgr_ == nullptr) return;
+  obs::trace_event(obs::TraceKind::kLeaseClose,
+                   gen_ != nullptr ? gen_->id : 0);
   mgr_->active_leases_.fetch_sub(1, std::memory_order_relaxed);
   mgr_->drop_lease(gen_);
   mgr_ = nullptr;

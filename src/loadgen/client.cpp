@@ -88,6 +88,21 @@ bool Client::recv_frame(std::vector<std::uint8_t>& body) {
   }
 }
 
+std::string Client::recv_all() {
+  std::string out;
+  for (;;) {
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();  // EOF or error ends the stream
+    return out;
+  }
+}
+
 std::uint8_t Client::round_trip(const std::vector<std::uint8_t>& frame,
                                 std::vector<std::uint8_t>& body) {
   if (fd_ < 0 || !send_bytes(frame.data(), frame.size()) ||
@@ -190,6 +205,26 @@ std::uint64_t Client::StatsReply::value_or(
     if (eid == static_cast<std::uint32_t>(id)) return v;
   }
   return fallback;
+}
+
+Client::MetricsReply Client::metrics() {
+  std::vector<std::uint8_t> frame, body;
+  encode_metrics(frame);
+  MetricsReply r;
+  const std::uint8_t st = round_trip(frame, body);
+  if (st == kTransportError) return r;
+  r.status = static_cast<Status>(st);
+  if (r.status == Status::kOk) {
+    WireReader rd(body);
+    rd.u8();
+    const std::uint32_t n = rd.u32();
+    r.text.reserve(n);
+    for (std::uint32_t i = 0; i < n && rd.ok(); ++i) {
+      r.text.push_back(static_cast<char>(rd.u8()));
+    }
+    if (!rd.done()) r.text.clear();
+  }
+  return r;
 }
 
 Client::StatsReply Client::stats() {

@@ -79,6 +79,14 @@ class Client {
   };
   StatsReply stats();
 
+  struct MetricsReply {
+    Status status = Status::kBadRequest;
+    std::string text;  // Prometheus text exposition (empty on error)
+  };
+  // Full obs registry snapshot over the binary transport (kMetrics);
+  // the same payload the HTTP /metrics listener serves.
+  MetricsReply metrics();
+
   // --- Raw framed I/O (pipelining, fault injection) --------------------------
 
   // Writes all n bytes (handles short writes); false on transport error.
@@ -87,6 +95,9 @@ class Client {
   // False on EOF or transport error (the garbage-input disconnect shows
   // up here as a clean false, not a hang — the server closes the socket).
   bool recv_frame(std::vector<std::uint8_t>& body);
+  // Reads until the peer closes (unframed — for talking HTTP to the
+  // /metrics listener, which answers one request and hangs up).
+  std::string recv_all();
 
  private:
   // Sends one encoded request frame and decodes the status byte of the

@@ -1,0 +1,451 @@
+// Metrics registry: the process-wide telemetry plane (DESIGN.md §14).
+//
+// The paper's claims are about mechanism behavior under contention —
+// helps, handshake aborts, freeze failures, scan/update interference —
+// but before this layer every gauge family lived in its own corner
+// (CountingOpStats on a tree, AllocStats on an arena, LifetimeManager
+// counters, AdmissionStats, ServerStats) and was read by hand in one
+// bench or the STATS opcode. MetricsRegistry unifies them behind one
+// named, labeled, scrapeable surface:
+//
+//   Counter   registry-owned monotone counter with cacheline-striped
+//             cells (util/cacheline.h): the enabled-mode hot-path cost
+//             is ONE padded relaxed fetch_add on a thread-hashed stripe,
+//             aggregated only at read time.
+//   gauge     a sampled callback — existing gauges (AllocStats,
+//             LifetimeManager, AdmissionStats, ...) register collectors
+//             (obs/adapters.h) instead of duplicating state.
+//   snapshot  one call yields every sample in the process;
+//             prometheus_text() renders the standard text exposition
+//             format served by the server's GET /metrics listener and
+//             the binary METRICS opcode.
+//
+// Overhead contract: the DISABLED mode is the default NullOpStats tree
+// policy — nothing is instrumented and nothing compiles in. Opting a
+// tree in via obs::RegistryOpStats (below) buys the striped-counter
+// increments; the micro_ops obs on/off ablation column guards the cost.
+//
+// Registration is mutex-guarded and meant for setup paths; hot paths
+// hold the stable Counter& and never look anything up. Collectors are
+// removed via the RAII Registration handle (a Server unregisters its
+// families on stop(), so tests can cycle servers without accumulating
+// dangling callbacks); counters are process-lifetime and find-or-create
+// (re-registering returns the same cells).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/op_stats.h"
+#include "obs/trace.h"
+#include "util/cacheline.h"
+
+namespace pnbbst::obs {
+
+// Monotone counter with per-thread-hashed cacheline-striped cells: no two
+// stripes share a line, so concurrent increments from different threads
+// do not bounce a cacheline; value() sums the stripes at read time.
+class StripedCounter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void add(std::uint64_t n) noexcept {
+    cells_[this_thread_stripe()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) {
+      total += c.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static std::size_t this_thread_stripe() noexcept {
+    // Same idiom as ArenaDomain::this_thread_shard: hash once per thread.
+    static thread_local const std::size_t stripe =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kStripes;
+    return stripe;
+  }
+
+  CachePadded<std::atomic<std::uint64_t>> cells_[kStripes];
+};
+
+// Prometheus metric families; histogram data is exported in summary form
+// (pre-computed quantile labels), so only these three appear in TYPE lines.
+enum class MetricType : std::uint8_t { kCounter, kGauge, kSummary };
+
+inline const char* metric_type_name(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kSummary:
+      return "summary";
+  }
+  return "untyped";
+}
+
+// One scraped sample: family name, preformatted label body (the text
+// between the braces, e.g. `shard="3",op="find"`; empty = no braces),
+// and the value.
+struct Sample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+// Registry-owned counter: striped cells plus the identity under which
+// snapshot() reports it.
+class Counter {
+ public:
+  Counter(std::string name, std::string labels)
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+
+  void inc() noexcept { cells_.inc(); }
+  void add(std::uint64_t n) noexcept { cells_.add(n); }
+  std::uint64_t value() const noexcept { return cells_.value(); }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& labels() const noexcept { return labels_; }
+
+ private:
+  std::string name_;
+  std::string labels_;
+  StripedCounter cells_;
+};
+
+class MetricsRegistry;
+
+// RAII unregistration handle: collectors added through it are removed
+// when the handle is destroyed (or reset). Move-only.
+class Registration {
+ public:
+  Registration() noexcept = default;
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  Registration(Registration&& o) noexcept
+      : registry_(o.registry_), ids_(std::move(o.ids_)) {
+    o.registry_ = nullptr;
+    o.ids_.clear();
+  }
+  Registration& operator=(Registration&& o) noexcept {
+    if (this != &o) {
+      reset();
+      registry_ = o.registry_;
+      ids_ = std::move(o.ids_);
+      o.registry_ = nullptr;
+      o.ids_.clear();
+    }
+    return *this;
+  }
+  ~Registration() { reset(); }
+
+  inline void reset() noexcept;
+  bool empty() const noexcept { return ids_.empty(); }
+
+ private:
+  friend class MetricsRegistry;
+  MetricsRegistry* registry_ = nullptr;
+  std::vector<std::uint64_t> ids_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every subsystem registers into and the
+  // exposition endpoints scrape. Immortal, like ArenaDomain::shared():
+  // collectors may still be removed during static teardown.
+  static MetricsRegistry& global() {
+    static MetricsRegistry* r = new MetricsRegistry();
+    return *r;
+  }
+
+  // Find-or-create a counter under (name, labels). The reference is
+  // stable for the registry's lifetime — hot paths hold it and never
+  // come back here. Also declares the family (help wins on first call).
+  Counter& counter(std::string_view name, std::string_view help,
+                   std::string_view labels = {}) {
+    std::lock_guard<std::mutex> lock(mu_);
+    declare_locked(name, MetricType::kCounter, help);
+    const std::string key =
+        std::string(name) + "\x1f" + std::string(labels);
+    auto it = counters_.find(key);
+    if (it == counters_.end()) {
+      it = counters_
+               .emplace(key, std::make_unique<Counter>(std::string(name),
+                                                       std::string(labels)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  // Declare family metadata (type + help) without adding a sample source;
+  // collectors registered below emit samples for declared families.
+  void declare(std::string_view name, MetricType type,
+               std::string_view help) {
+    std::lock_guard<std::mutex> lock(mu_);
+    declare_locked(name, type, help);
+  }
+
+  // Sampled-callback gauge: `fn` is invoked at every snapshot. The
+  // callback must stay valid until the Registration releases it.
+  void add_gauge(Registration& reg, std::string_view name,
+                 std::string_view help, std::string_view labels,
+                 std::function<double()> fn) {
+    add_collector(reg, name, MetricType::kGauge, help,
+                  [name = std::string(name), labels = std::string(labels),
+                   fn = std::move(fn)](std::vector<Sample>& out) {
+                    out.push_back({name, labels, fn()});
+                  });
+  }
+
+  // General collector: may emit any number of samples (per-shard fans,
+  // summary quantiles). `family` + `type` + `help` declare the primary
+  // family it feeds; a collector emitting several families should
+  // declare() the others itself.
+  void add_collector(Registration& reg, std::string_view family,
+                     MetricType type, std::string_view help,
+                     std::function<void(std::vector<Sample>&)> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    declare_locked(family, type, help);
+    const std::uint64_t id = next_id_++;
+    collectors_.emplace(id, std::move(fn));
+    if (reg.registry_ == nullptr) reg.registry_ = this;
+    reg.ids_.push_back(id);
+  }
+
+  void remove_collector(std::uint64_t id) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors_.erase(id);
+  }
+
+  // Every sample in the process: owned counters first, then collector
+  // output, sorted by (name, labels) so families group contiguously.
+  std::vector<Sample> snapshot() const {
+    std::vector<Sample> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + collectors_.size());
+    for (const auto& [key, c] : counters_) {
+      out.push_back({c->name(), c->labels(),
+                     static_cast<double>(c->value())});
+    }
+    for (const auto& [id, fn] : collectors_) fn(out);
+    std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+      if (a.name != b.name) return a.name < b.name;
+      return a.labels < b.labels;
+    });
+    return out;
+  }
+
+  // Prometheus text exposition format (version 0.0.4): one `# HELP` +
+  // `# TYPE` header per family, then its samples. This is the payload of
+  // both GET /metrics and the binary METRICS opcode.
+  std::string prometheus_text() const {
+    const std::vector<Sample> samples = snapshot();
+    std::map<std::string, Family> families;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      families = families_;
+    }
+    std::string out;
+    out.reserve(samples.size() * 64);
+    std::string last_family;
+    for (const Sample& s : samples) {
+      if (s.name != last_family) {
+        last_family = s.name;
+        const auto it = families.find(s.name);
+        const char* type = it != families.end()
+                               ? metric_type_name(it->second.type)
+                               : "untyped";
+        out += "# HELP " + s.name + " ";
+        out += it != families.end() ? it->second.help : "";
+        out += "\n# TYPE " + s.name + " ";
+        out += type;
+        out += "\n";
+      }
+      out += s.name;
+      if (!s.labels.empty()) {
+        out += "{";
+        out += s.labels;
+        out += "}";
+      }
+      out += " ";
+      out += format_value(s.value);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  struct Family {
+    MetricType type = MetricType::kGauge;
+    std::string help;
+  };
+
+  void declare_locked(std::string_view name, MetricType type,
+                      std::string_view help) {
+    auto it = families_.find(std::string(name));
+    if (it == families_.end()) {
+      families_.emplace(std::string(name),
+                        Family{type, std::string(help)});
+    }
+  }
+
+  // Counters are u64; everything else double. Print integral values
+  // without an exponent so counter samples survive a text round trip
+  // exactly (u64 up to 2^53 — beyond that monotonicity still holds).
+  static std::string format_value(double v) {
+    char buf[32];
+    if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, Family> families_;
+  std::map<std::uint64_t, std::function<void(std::vector<Sample>&)>>
+      collectors_;
+  std::uint64_t next_id_ = 1;
+};
+
+inline void Registration::reset() noexcept {
+  if (registry_ != nullptr) {
+    for (const std::uint64_t id : ids_) registry_->remove_collector(id);
+  }
+  registry_ = nullptr;
+  ids_.clear();
+}
+
+// Opt-in tree stats policy: the CountingOpStats surface, but each bump
+// lands in a PROCESS-WIDE named registry counter (striped cells — one
+// padded relaxed increment, the enabled-mode overhead contract). All
+// trees instantiated with this policy share the same family, labeled
+// engine="pnb"; the default NullOpStats remains the zero-cost mode.
+struct RegistryOpStats {
+  static constexpr bool kEnabled = true;
+
+  RegistryOpStats()
+      : attempts_(&engine_counter("attempts",
+                                  "Update-loop iterations (attempts)")),
+        commits_(&engine_counter("commits",
+                                 "Update attempts that reached Commit")),
+        handshake_aborts_(&engine_counter(
+            "handshake_aborts", "Attempts aborted by the handshaking check")),
+        freeze_fail_aborts_(&engine_counter(
+            "freeze_fail_aborts", "Attempts aborted by a lost freeze CAS")),
+        validate_fails_(&engine_counter(
+            "validate_fails", "Validate failures that forced a retry")),
+        helps_(&engine_counter("helps", "Help() calls on foreign Infos")),
+        scans_(&engine_counter("scans", "RangeScan/snapshot traversals")),
+        scan_helps_(&engine_counter("scan_helps",
+                                    "Help() calls from scan traversals")),
+        child_cas_failures_(&engine_counter(
+            "child_cas_failures", "Child CAS attempts another helper won")),
+        nodes_allocated_(&engine_counter("nodes_allocated",
+                                         "Tree nodes allocated")),
+        infos_allocated_(&engine_counter("infos_allocated",
+                                         "Info records allocated")),
+        nodes_retired_(&engine_counter("nodes_retired",
+                                       "Nodes handed to the reclaimer")),
+        unpublished_frees_(&engine_counter(
+            "unpublished_frees", "Speculative records freed unpublished")) {}
+
+  void inc_attempts() noexcept { attempts_->inc(); }
+  void inc_commits() noexcept { commits_->inc(); }
+  void inc_handshake_aborts() noexcept {
+    handshake_aborts_->inc();
+    trace_event(TraceKind::kHandshakeAbort);
+  }
+  void inc_freeze_fail_aborts() noexcept {
+    freeze_fail_aborts_->inc();
+    trace_event(TraceKind::kFreezeFailAbort);
+  }
+  void inc_validate_fails() noexcept { validate_fails_->inc(); }
+  void inc_helps() noexcept {
+    helps_->inc();
+    trace_event(TraceKind::kHelp, 0);
+  }
+  void inc_scans() noexcept { scans_->inc(); }
+  void inc_scan_helps() noexcept {
+    scan_helps_->inc();
+    trace_event(TraceKind::kHelp, 1);
+  }
+  void inc_child_cas_failures() noexcept { child_cas_failures_->inc(); }
+  void inc_nodes_allocated(std::uint64_t n = 1) noexcept {
+    nodes_allocated_->add(n);
+  }
+  void inc_infos_allocated() noexcept { infos_allocated_->inc(); }
+  void inc_nodes_retired() noexcept { nodes_retired_->inc(); }
+  void inc_unpublished_frees(std::uint64_t n = 1) noexcept {
+    unpublished_frees_->add(n);
+  }
+
+  // NOTE: RegistryOpStats counters are process-global (shared by every
+  // tree using the policy), so this snapshot is of the family, not of
+  // one container. Same shape as CountingOpStats::snapshot() so generic
+  // reporting code compiles against either.
+  OpStatsSnapshot snapshot() const noexcept {
+    OpStatsSnapshot s;
+    s.attempts = attempts_->value();
+    s.commits = commits_->value();
+    s.handshake_aborts = handshake_aborts_->value();
+    s.freeze_fail_aborts = freeze_fail_aborts_->value();
+    s.validate_fails = validate_fails_->value();
+    s.helps = helps_->value();
+    s.scans = scans_->value();
+    s.scan_helps = scan_helps_->value();
+    s.child_cas_failures = child_cas_failures_->value();
+    s.nodes_allocated = nodes_allocated_->value();
+    s.infos_allocated = infos_allocated_->value();
+    s.nodes_retired = nodes_retired_->value();
+    s.unpublished_frees = unpublished_frees_->value();
+    return s;
+  }
+
+ private:
+  static Counter& engine_counter(const char* mech, const char* help) {
+    return MetricsRegistry::global().counter(
+        std::string("pnb_engine_") + mech + "_total", help,
+        "engine=\"registry\"");
+  }
+
+  Counter* attempts_;
+  Counter* commits_;
+  Counter* handshake_aborts_;
+  Counter* freeze_fail_aborts_;
+  Counter* validate_fails_;
+  Counter* helps_;
+  Counter* scans_;
+  Counter* scan_helps_;
+  Counter* child_cas_failures_;
+  Counter* nodes_allocated_;
+  Counter* infos_allocated_;
+  Counter* nodes_retired_;
+  Counter* unpublished_frees_;
+};
+
+}  // namespace pnbbst::obs

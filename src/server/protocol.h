@@ -22,6 +22,9 @@
 //   RANGE    i64 lo, i64 hi, u32 limit    u64 count, u32 npairs,
 //                                           npairs x (i64 key, i64 value)
 //   STATS    (empty)                      u32 n, n x (u32 id, u64 value)
+//   METRICS  (empty)                      u32 len, len bytes of Prometheus
+//                                           text exposition (the same
+//                                           payload GET /metrics serves)
 //
 // RANGE with limit == 0 is a pure merged count (npairs == 0); limit > 0
 // returns the first `limit` merged pairs ascending plus count == npairs.
@@ -64,6 +67,7 @@ enum class Opcode : std::uint8_t {
   kBatch = 4,
   kRange = 5,
   kStats = 6,
+  kMetrics = 7,  // full obs registry snapshot as Prometheus text
 };
 
 enum class Status : std::uint8_t {
@@ -90,6 +94,14 @@ enum class StatId : std::uint32_t {
   kRetiredBytes = 11,    // lifecycle gauges of the serving map
   kRetiredMaps = 12,
   kActiveLeases = 13,
+  kBatchesShed = 14,     // AdmissionStats::shed() (deferred + timed out)
+  kReqGet = 15,          // per-opcode request counters (frames decoded
+  kReqPut = 16,          //   with that opcode, whatever the outcome)
+  kReqDel = 17,
+  kReqBatch = 18,
+  kReqRange = 19,
+  kReqStats = 20,
+  kReqMetrics = 21,
 };
 
 // One BATCH entry on the wire. kind mirrors ingest::BatchOpKind's values
@@ -269,6 +281,13 @@ inline void encode_stats(std::vector<std::uint8_t>& out) {
   std::vector<std::uint8_t> body;
   WireWriter w(body);
   w.u8(static_cast<std::uint8_t>(Opcode::kStats));
+  append_frame(out, body);
+}
+
+inline void encode_metrics(std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.u8(static_cast<std::uint8_t>(Opcode::kMetrics));
   append_frame(out, body);
 }
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -10,7 +11,9 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <iterator>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -18,6 +21,9 @@
 #include "ingest/batch_apply.h"
 #include "ingest/options.h"
 #include "lifecycle/lifetime_manager.h"
+#include "mem/arena.h"
+#include "obs/adapters.h"
+#include "obs/latency.h"
 
 namespace pnbbst::net {
 
@@ -123,10 +129,22 @@ bool Server::start() {
     }
     loops_.push_back(std::move(loop));
   }
+  // Telemetry plane: sampling rate is process-global (the plane is), the
+  // gauge registrations are per-server (released again in stop()).
+  obs::LatencyPlane::global().set_sample_every(cfg_.latency_sample_every);
+  register_gauges();
+  if (cfg_.metrics_port && !start_metrics_listener()) {
+    stop();
+    return false;
+  }
+
   running_.store(true, std::memory_order_release);
   threads_.reserve(loops_.size());
   for (auto& loop : loops_) {
     threads_.emplace_back([this, l = loop.get()] { loop_main(*l); });
+  }
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { metrics_main(); });
   }
   return true;
 }
@@ -141,6 +159,14 @@ void Server::stop() {
     for (auto& t : threads_) t.join();
     threads_.clear();
   }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  if (metrics_fd_ >= 0) {
+    ::close(metrics_fd_);
+    metrics_fd_ = -1;
+  }
+  // Release this server's registry collectors: their callbacks capture
+  // `this` and the map, which a later test/server cycle would dangle.
+  obs_reg_.reset();
   for (auto& loop : loops_) {
     for (auto& [fd, conn] : loop->conns) {
       ::close(fd);
@@ -166,7 +192,182 @@ ServerStats Server::stats() const noexcept {
   s.shed_responses = shed_responses_.load(std::memory_order_relaxed);
   s.range_queries = range_queries_.load(std::memory_order_relaxed);
   s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  const auto req = [this](Opcode op) {
+    return req_counts_[static_cast<std::size_t>(op)].load(
+        std::memory_order_relaxed);
+  };
+  s.req_get = req(Opcode::kGet);
+  s.req_put = req(Opcode::kPut);
+  s.req_del = req(Opcode::kDel);
+  s.req_batch = req(Opcode::kBatch);
+  s.req_range = req(Opcode::kRange);
+  s.req_stats = req(Opcode::kStats);
+  s.req_metrics = req(Opcode::kMetrics);
   return s;
+}
+
+// --- /metrics HTTP listener ------------------------------------------------
+
+bool Server::start_metrics_listener() {
+  metrics_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (metrics_fd_ < 0) {
+    std::perror("server: metrics socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*cfg_.metrics_port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(metrics_fd_, 16) != 0) {
+    std::perror("server: metrics bind/listen");
+    ::close(metrics_fd_);
+    metrics_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &blen) == 0) {
+    metrics_port_ = ntohs(bound.sin_port);
+  }
+  return true;
+}
+
+// One-request-per-connection HTTP responder, deliberately minimal: a
+// scrape is GET /metrics every few seconds from one collector, so a
+// single blocking thread with poll()-bounded waits is plenty — and it
+// keeps the epoll loops untouched by exposition work. Not a general
+// HTTP server: no keep-alive, no chunking, 1 KiB request cap.
+void Server::metrics_main() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{metrics_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);  // 100 ms running_ re-check
+    if (pr <= 0) continue;
+    const int fd = ::accept4(metrics_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    req_counts_[static_cast<std::size_t>(Opcode::kMetrics)].fetch_add(
+        1, std::memory_order_relaxed);
+    timeval tv{};
+    tv.tv_sec = 2;  // bound a stalled client; scrapers are local/fast
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char req[1024];
+    std::size_t got = 0;
+    // Read until the header terminator (scrape requests have no body).
+    while (got < sizeof(req) - 1) {
+      const ssize_t n = ::recv(fd, req + got, sizeof(req) - 1 - got, 0);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+      req[got] = '\0';
+      if (std::strstr(req, "\r\n\r\n") != nullptr ||
+          std::strstr(req, "\n\n") != nullptr) {
+        break;
+      }
+    }
+    req[got] = '\0';
+    std::string resp;
+    if (std::strncmp(req, "GET /metrics", 12) == 0) {
+      const std::string body =
+          obs::MetricsRegistry::global().prometheus_text();
+      resp = "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; "
+             "charset=utf-8\r\nContent-Length: " +
+             std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+             body;
+    } else {
+      resp = "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n"
+             "Connection: close\r\n\r\n";
+    }
+    std::size_t sent = 0;
+    while (sent < resp.size()) {
+      const ssize_t n = ::send(fd, resp.data() + sent, resp.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+}
+
+// --- Registry wiring -------------------------------------------------------
+
+void Server::register_gauges() {
+  auto& reg = obs::MetricsRegistry::global();
+  char lbuf[48];
+  std::snprintf(lbuf, sizeof(lbuf), "port=\"%u\"",
+                static_cast<unsigned>(bound_port_));
+  const std::string port_label = lbuf;
+
+  // Server-side counters, one collector for the whole family set.
+  reg.add_collector(
+      obs_reg_, "pnb_server_ops_served_total", obs::MetricType::kCounter,
+      "Frames answered (all opcodes)",
+      [this, port_label](std::vector<obs::Sample>& out) {
+        const ServerStats s = stats();
+        out.push_back({"pnb_server_ops_served_total", port_label,
+                       static_cast<double>(s.ops_served)});
+        out.push_back({"pnb_server_conns_accepted_total", port_label,
+                       static_cast<double>(s.conns_accepted)});
+        out.push_back({"pnb_server_conns_open", port_label,
+                       static_cast<double>(s.conns_open)});
+        out.push_back({"pnb_server_batch_ops_applied_total", port_label,
+                       static_cast<double>(s.batch_ops_applied)});
+        out.push_back({"pnb_server_shed_responses_total", port_label,
+                       static_cast<double>(s.shed_responses)});
+        out.push_back({"pnb_server_range_queries_total", port_label,
+                       static_cast<double>(s.range_queries)});
+        out.push_back({"pnb_server_bad_frames_total", port_label,
+                       static_cast<double>(s.bad_frames)});
+        const std::pair<const char*, std::uint64_t> reqs[] = {
+            {"get", s.req_get},     {"put", s.req_put},
+            {"del", s.req_del},     {"batch", s.req_batch},
+            {"range", s.req_range}, {"stats", s.req_stats},
+            {"metrics", s.req_metrics},
+        };
+        for (const auto& [op, v] : reqs) {
+          out.push_back({"pnb_server_requests_total",
+                         port_label + ",op=\"" + op + "\"",
+                         static_cast<double>(v)});
+        }
+      });
+  reg.declare("pnb_server_conns_accepted_total", obs::MetricType::kCounter,
+              "Connections accepted since start");
+  reg.declare("pnb_server_conns_open", obs::MetricType::kGauge,
+              "Currently open connections");
+  reg.declare("pnb_server_batch_ops_applied_total",
+              obs::MetricType::kCounter, "BATCH ops applied after dedup");
+  reg.declare("pnb_server_shed_responses_total", obs::MetricType::kCounter,
+              "kRetry frames sent (overload shedding)");
+  reg.declare("pnb_server_range_queries_total", obs::MetricType::kCounter,
+              "RANGE frames served");
+  reg.declare("pnb_server_bad_frames_total", obs::MetricType::kCounter,
+              "Malformed frames answered kBadRequest");
+  reg.declare("pnb_server_requests_total", obs::MetricType::kCounter,
+              "Frames decoded per opcode");
+
+  // The serving map: per-shard op/size gauges, lifecycle, admission —
+  // plus the aggregate engine family (CountingOpStats is enabled on
+  // ServerMap precisely so these exist on the serving path).
+  obs::register_sharded_map(reg, obs_reg_, map_, port_label);
+
+  // Process-lifetime subjects register exactly once (idempotent across
+  // serial server instances; the subjects are immortal, so the leaked
+  // Registration is intentional — there is never a reason to unwire).
+  static const bool process_wide = [&reg] {
+    auto* keep = new obs::Registration();
+    obs::register_arena(reg, *keep, mem::ArenaDomain::shared(),
+                        "domain=\"shared\"");
+    for (std::size_t i = 0; i < mem::ArenaDomain::kPooledDomains; ++i) {
+      char dbuf[32];
+      std::snprintf(dbuf, sizeof(dbuf), "domain=\"pooled%zu\"", i);
+      obs::register_arena(reg, *keep, mem::ArenaDomain::pooled(i), dbuf);
+    }
+    obs::register_latency(reg, *keep, obs::LatencyPlane::global(), "");
+    return true;
+  }();
+  (void)process_wide;
 }
 
 void Server::loop_main(Loop& loop) {
@@ -311,6 +512,15 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
   const std::size_t at = c.out.begin_frame();
   WireWriter w(c.out.raw());
   ops_served_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<std::size_t>(opcode) < std::size(req_counts_)) {
+    req_counts_[static_cast<std::size_t>(opcode)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  // Latency plane: t0 == 0 for the (sample_every-1)/sample_every ops
+  // that are not sampled; finish() is then a no-op. Malformed frames
+  // fall through without recording — the distribution is of served ops.
+  auto& lat = obs::LatencyPlane::global();
+  const std::uint64_t t0 = lat.maybe_start();
 
   switch (opcode) {
     case Opcode::kGet: {
@@ -324,6 +534,7 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
         w.u8(static_cast<std::uint8_t>(Status::kNotFound));
       }
       c.out.end_frame(at);
+      lat.finish(obs::OpClass::kFind, t0);
       return;
     }
     case Opcode::kPut: {
@@ -334,6 +545,7 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       w.u8(added ? 1 : 0);
       c.out.end_frame(at);
+      lat.finish(obs::OpClass::kInsert, t0);
       return;
     }
     case Opcode::kDel: {
@@ -343,6 +555,7 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       w.u8(removed ? 1 : 0);
       c.out.end_frame(at);
+      lat.finish(obs::OpClass::kErase, t0);
       return;
     }
     case Opcode::kBatch: {
@@ -382,6 +595,7 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
       w.u64(r.inserted);
       w.u64(r.erased);
       c.out.end_frame(at);
+      lat.finish(obs::OpClass::kBatch, t0);
       return;
     }
     case Opcode::kRange: {
@@ -418,6 +632,7 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
         }
       }
       c.out.end_frame(at);
+      lat.finish(obs::OpClass::kScan, t0);
       return;
     }
     case Opcode::kStats: {
@@ -438,12 +653,34 @@ void Server::handle_frame(Conn& c, const std::vector<std::uint8_t>& body) {
           {StatId::kRetiredBytes, map_.retired_bytes()},
           {StatId::kRetiredMaps, map_.retired_maps()},
           {StatId::kActiveLeases, map_.lifetime().active_leases()},
+          {StatId::kBatchesShed, as.shed()},
+          {StatId::kReqGet, ss.req_get},
+          {StatId::kReqPut, ss.req_put},
+          {StatId::kReqDel, ss.req_del},
+          {StatId::kReqBatch, ss.req_batch},
+          {StatId::kReqRange, ss.req_range},
+          {StatId::kReqStats, ss.req_stats},
+          {StatId::kReqMetrics, ss.req_metrics},
       };
       w.u8(static_cast<std::uint8_t>(Status::kOk));
       w.u32(static_cast<std::uint32_t>(std::size(entries)));
       for (const auto& [id, value] : entries) {
         w.u32(static_cast<std::uint32_t>(id));
         w.u64(value);
+      }
+      c.out.end_frame(at);
+      return;
+    }
+    case Opcode::kMetrics: {
+      if (!req.done()) break;
+      // Same payload as GET /metrics, over the binary transport (so
+      // loadgen/Client can scrape without a second socket family).
+      const std::string text =
+          obs::MetricsRegistry::global().prometheus_text();
+      w.u8(static_cast<std::uint8_t>(Status::kOk));
+      w.u32(static_cast<std::uint32_t>(text.size()));
+      for (const char ch : text) {
+        w.u8(static_cast<std::uint8_t>(ch));
       }
       c.out.end_frame(at);
       return;

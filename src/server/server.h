@@ -41,6 +41,8 @@
 #include <thread>
 #include <vector>
 
+#include "mem/alloc_policy.h"
+#include "obs/registry.h"
 #include "scan/executor.h"
 #include "server/framing.h"
 #include "server/protocol.h"
@@ -50,9 +52,15 @@ namespace pnbbst::net {
 
 // The concrete serving type: 8 range-partitioned shards of int64 -> int64.
 // RangeSplitter keeps narrow RANGE queries on single shards; the keyspace
-// bounds come from the map the caller constructs.
+// bounds come from the map the caller constructs. The serving map carries
+// CountingOpStats (per-shard mechanism gauges for the obs registry and
+// the adaptive-sharding roadmap item — relaxed counters, measured in the
+// micro_ops obs ablation) and allocates from the pooled arena domains
+// (pnb_arena_* gauges observe the serving path).
 using ServerMap =
-    ShardedPnbMap<std::int64_t, std::int64_t, 8, RangeSplitter<std::int64_t>>;
+    ShardedPnbMap<std::int64_t, std::int64_t, 8, RangeSplitter<std::int64_t>,
+                  std::less<std::int64_t>, EpochReclaimer, CountingOpStats,
+                  mem::ArenaAlloc>;
 
 struct ServerConfig {
   std::string host = "127.0.0.1";
@@ -69,6 +77,14 @@ struct ServerConfig {
   // start(). Policy is forced to kDefer either way (the event loop must
   // never block in admission).
   std::optional<std::size_t> shed_watermark;
+  // When set, start() also binds a plain-HTTP listener on this port
+  // (0 = ephemeral; read via metrics_port()) answering GET /metrics
+  // with the obs registry's Prometheus text. nullopt = no listener.
+  std::optional<std::uint16_t> metrics_port;
+  // Op-latency sampling rate for the obs latency plane: every Nth frame
+  // per loop thread gets timed (0 disables). Applied process-wide at
+  // start() (the plane is global).
+  std::uint32_t latency_sample_every = 64;
 };
 
 // Monotone server-side counters (relaxed atomics; STATS reads them).
@@ -80,6 +96,15 @@ struct ServerStats {
   std::uint64_t shed_responses = 0;
   std::uint64_t range_queries = 0;
   std::uint64_t bad_frames = 0;
+  // Frames decoded per opcode, whatever the outcome (indexable by the
+  // Opcode value via req(); kReqGet..kReqMetrics on the wire).
+  std::uint64_t req_get = 0;
+  std::uint64_t req_put = 0;
+  std::uint64_t req_del = 0;
+  std::uint64_t req_batch = 0;
+  std::uint64_t req_range = 0;
+  std::uint64_t req_stats = 0;
+  std::uint64_t req_metrics = 0;
 };
 
 class Server {
@@ -104,6 +129,8 @@ class Server {
   }
   // Bound port (valid after start(); resolves ephemeral port 0).
   std::uint16_t port() const noexcept { return bound_port_; }
+  // Bound /metrics HTTP port (0 when the listener is disabled).
+  std::uint16_t metrics_port() const noexcept { return metrics_port_; }
   const ServerConfig& config() const noexcept { return cfg_; }
 
   ServerStats stats() const noexcept;
@@ -120,6 +147,9 @@ class Server {
   void flush_writes(Loop& loop, Conn& c);
   void close_conn(Loop& loop, Conn& c);
   void update_write_interest(Loop& loop, Conn& c);
+  bool start_metrics_listener();
+  void metrics_main();
+  void register_gauges();
 
   ServerMap& map_;
   ServerConfig cfg_;
@@ -131,6 +161,14 @@ class Server {
   std::uint16_t bound_port_ = 0;
   std::atomic<std::size_t> next_loop_{0};  // round-robin accept assignment
 
+  // /metrics HTTP listener (optional; see ServerConfig::metrics_port).
+  int metrics_fd_ = -1;
+  std::uint16_t metrics_port_ = 0;
+  std::thread metrics_thread_;
+  // Releases this server's registry collectors at stop() so a later
+  // server (tests cycle them) can re-register without duplicates.
+  obs::Registration obs_reg_;
+
   std::atomic<std::uint64_t> ops_served_{0};
   std::atomic<std::uint64_t> conns_accepted_{0};
   std::atomic<std::uint64_t> conns_open_{0};
@@ -138,6 +176,7 @@ class Server {
   std::atomic<std::uint64_t> shed_responses_{0};
   std::atomic<std::uint64_t> range_queries_{0};
   std::atomic<std::uint64_t> bad_frames_{0};
+  std::atomic<std::uint64_t> req_counts_[8] = {};  // indexed by Opcode value
 };
 
 }  // namespace pnbbst::net

@@ -119,6 +119,7 @@
 #include "ingest/admission.h"
 #include "ingest/batch_apply.h"
 #include "lifecycle/lifetime_manager.h"
+#include "obs/trace.h"
 #include "scan/parallel_scan.h"
 #include "util/backoff.h"
 #include "util/random.h"
@@ -762,6 +763,32 @@ class ShardedPnbMap {
   }
   // Shard count is a template constant; surfaced for generic callers.
   static constexpr std::size_t shard_count() noexcept { return NumShards; }
+  // Whether the per-shard trees carry mechanism counters (obs adapters
+  // gate their per-shard op-stats collector on this).
+  static constexpr bool kStatsEnabled = Stats::kEnabled;
+
+  // Per-shard key counts for the pnb_shard_size gauge (and, eventually,
+  // the adaptive-sharding rebalancer). Each count is a wait-free
+  // snapshot walk, O(total keys) — a scrape-cadence API, not a hot path.
+  std::array<std::size_t, NumShards> shard_sizes() {
+    auto guard = reclaimer_->pin();
+    const Table* table = table_.load(std::memory_order_acquire);
+    std::array<std::size_t, NumShards> out{};
+    for (std::size_t i = 0; i < NumShards; ++i) {
+      out[i] = table->shards[i]->map.size();
+    }
+    return out;
+  }
+
+  // Point-in-time copy of shard i's mechanism counters (all-zero under
+  // NullOpStats). Plain struct, safe to hold past reclamation.
+  OpStatsSnapshot shard_stats(std::size_t i) {
+    auto guard = reclaimer_->pin();
+    return table_.load(std::memory_order_acquire)
+        ->shards[i]
+        ->map.stats()
+        .snapshot();
+  }
 
   // Retired-generation gauges, read lock-free off the LifetimeManager (no
   // side fields, no mutex — the manager's counters are the single source
@@ -1001,6 +1028,10 @@ class ShardedPnbMap {
       table_.store(t_new, std::memory_order_seq_cst);
       mig->open.store(false, std::memory_order_release);
     }
+    // The cutover instant — the event the trace timeline anchors shard
+    // rebalances on (arg = lifecycle generation being retired).
+    obs::trace_event(obs::TraceKind::kReshardCutover,
+                     lifetime_.current_generation());
     std::vector<lifecycle::RetiredResource> resources;
     resources.reserve(replaced.size() + 3);
     resources.push_back({const_cast<Table*>(t_old), &delete_table,
@@ -1099,10 +1130,14 @@ class ShardedPnbMap {
         break;
       case AdmissionOutcome::kDeferred:
         adm_deferred_.fetch_add(1, std::memory_order_relaxed);
+        obs::trace_event(obs::TraceKind::kAdmissionShed,
+                         lifetime_.retired_bytes());
         break;
       case AdmissionOutcome::kTimedOut:
         adm_blocked_.fetch_add(1, std::memory_order_relaxed);
         adm_timed_out_.fetch_add(1, std::memory_order_relaxed);
+        obs::trace_event(obs::TraceKind::kAdmissionShed,
+                         lifetime_.retired_bytes());
         break;
     }
   }

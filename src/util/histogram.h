@@ -18,7 +18,11 @@ class Histogram {
  public:
   static constexpr std::size_t kSubBits = 6;  // 64 sub-buckets per octave
   static constexpr std::size_t kSubBuckets = 1u << kSubBits;
-  static constexpr std::size_t kBuckets = (64 - kSubBits) * kSubBuckets;
+  // Values < kSubBuckets are exact (one linear octave-group), then one
+  // group per remaining octave up to msb 63 — so the largest index,
+  // (63 - kSubBits + 1) * kSubBuckets + (kSubBuckets - 1), is in range
+  // for the full 64-bit domain.
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) * kSubBuckets;
 
   Histogram() : counts_(kBuckets, 0) {}
 
@@ -67,7 +71,11 @@ class Histogram {
     const int msb = 63 - __builtin_clzll(value);
     const auto shift = static_cast<unsigned>(msb) - kSubBits;
     const std::size_t sub = (value >> shift) & (kSubBuckets - 1);
-    return (static_cast<std::size_t>(msb) - kSubBits + 1) * kSubBuckets + sub;
+    const std::size_t index =
+        (static_cast<std::size_t>(msb) - kSubBits + 1) * kSubBuckets + sub;
+    // Values with the top octaves set (>= 2^63) would index past the
+    // table; saturate into the last bucket instead of writing OOB.
+    return index < kBuckets ? index : kBuckets - 1;
   }
 
   static std::uint64_t value_for(std::size_t index) noexcept {

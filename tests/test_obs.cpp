@@ -1,0 +1,285 @@
+// Observability plane (src/obs/, DESIGN.md §14): striped-counter
+// exactness under threads, registry find-or-create identity and RAII
+// unregistration, Prometheus text shape, the AtomicHistogram-vs-plain
+// Histogram merge differential, latency-plane sampling accounting, and
+// the mechanism-trace ring (wrap + per-thread ordering + Chrome JSON).
+//
+// The LatencyPlane/MechanismTrace/RegistryOpStats subjects are process
+// globals shared with other tests in this binary, so those cases assert
+// on DELTAS, never absolute values; registry-shape cases use private
+// MetricsRegistry instances.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/adapters.h"
+#include "obs/latency.h"
+#include "obs/trace.h"
+#include "core/pnb_bst.h"
+#include "shard/sharded_map.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace pnbbst {
+namespace {
+
+TEST(StripedCounter, ThreadedExactness) {
+  obs::StripedCounter c;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPer = 100000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPer; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPer);
+}
+
+TEST(StripedCounter, AddAccumulates) {
+  obs::StripedCounter c;
+  c.add(40);
+  c.inc();
+  c.inc();
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsRegistry, CounterFindOrCreateIdentity) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("t_total", "help", "k=\"1\"");
+  obs::Counter& b = reg.counter("t_total", "other help", "k=\"1\"");
+  obs::Counter& c = reg.counter("t_total", "help", "k=\"2\"");
+  EXPECT_EQ(&a, &b);  // same (name, labels) -> same cells
+  EXPECT_NE(&a, &c);  // distinct labels -> distinct cells
+  a.add(3);
+  c.inc();
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "t_total");
+  EXPECT_EQ(samples[0].labels, "k=\"1\"");
+  EXPECT_DOUBLE_EQ(samples[0].value, 3.0);
+  EXPECT_EQ(samples[1].labels, "k=\"2\"");
+  EXPECT_DOUBLE_EQ(samples[1].value, 1.0);
+}
+
+TEST(MetricsRegistry, RegistrationRemovesCollectors) {
+  obs::MetricsRegistry reg;
+  {
+    obs::Registration handle;
+    reg.add_gauge(handle, "g", "a gauge", "", [] { return 7.0; });
+    EXPECT_FALSE(handle.empty());
+    const auto samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+  }  // handle destroyed -> collector removed
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(MetricsRegistry, RegistrationMoveTransfersOwnership) {
+  obs::MetricsRegistry reg;
+  obs::Registration a;
+  reg.add_gauge(a, "g", "a gauge", "", [] { return 1.0; });
+  obs::Registration b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(reg.snapshot().size(), 1u);
+  b.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(MetricsRegistry, PrometheusTextShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("pnb_test_ops_total", "Ops processed", "kind=\"put\"")
+      .add(42);
+  obs::Registration handle;
+  reg.add_gauge(handle, "pnb_test_depth", "Current depth", "",
+                [] { return 2.5; });
+  const std::string text = reg.prometheus_text();
+  // One HELP/TYPE header per family, samples after their header, counter
+  // values printed without an exponent.
+  EXPECT_NE(text.find("# HELP pnb_test_ops_total Ops processed\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pnb_test_ops_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pnb_test_ops_total{kind=\"put\"} 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pnb_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pnb_test_depth 2.5\n"), std::string::npos);
+  // Headers precede every sample of their family.
+  EXPECT_LT(text.find("# TYPE pnb_test_ops_total"),
+            text.find("pnb_test_ops_total{"));
+}
+
+TEST(MetricsRegistry, LargeIntegralValuesStayExact) {
+  obs::MetricsRegistry reg;
+  reg.counter("big_total", "big").add(1234567890123ull);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("big_total 1234567890123\n"), std::string::npos);
+}
+
+// Differential: folding an AtomicHistogram into a plain Histogram must
+// reproduce the plain histogram built from the same stream — identical
+// bucket geometry means identical counts and quantiles.
+TEST(AtomicHistogram, MergeMatchesPlainHistogram) {
+  obs::AtomicHistogram atomic;
+  Histogram plain;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = rng.next() >> (i % 48);
+    atomic.record(v);
+    // The plain reference records the bucket representative, exactly as
+    // merge_into replays it, so the comparison isolates the merge path.
+    plain.record(Histogram::value_for(Histogram::index_for(v)));
+  }
+  Histogram merged;
+  atomic.merge_into(merged);
+  EXPECT_EQ(merged.count(), plain.count());
+  EXPECT_EQ(merged.p50(), plain.p50());
+  EXPECT_EQ(merged.p90(), plain.p90());
+  EXPECT_EQ(merged.p99(), plain.p99());
+  EXPECT_EQ(merged.p999(), plain.p999());
+  EXPECT_EQ(atomic.count(), 50000u);
+}
+
+TEST(AtomicHistogram, ConcurrentRecordersSumExactly) {
+  obs::AtomicHistogram h;
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPer = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) h.record(t * 1000 + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  Histogram out;
+  h.merge_into(out);
+  EXPECT_EQ(out.count(), kThreads * kPer);
+}
+
+TEST(LatencyPlane, SampleEveryNAccounting) {
+  auto& plane = obs::LatencyPlane::global();
+  plane.set_sample_every(1);  // sample every op on this thread
+  const std::uint64_t before = plane.total_samples();
+  const std::uint64_t scans_before =
+      plane.merged(obs::OpClass::kScan).count();
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t t0 = plane.maybe_start();
+    ASSERT_NE(t0, 0u);
+    plane.finish(obs::OpClass::kScan, t0);
+  }
+  EXPECT_EQ(plane.total_samples() - before, 100u);
+  EXPECT_EQ(plane.merged(obs::OpClass::kScan).count() - scans_before, 100u);
+  plane.set_sample_every(0);
+  EXPECT_EQ(plane.maybe_start(), 0u);  // disabled: never samples
+  plane.finish(obs::OpClass::kScan, 0);  // and finish(0) is a no-op
+  EXPECT_EQ(plane.total_samples() - before, 100u);
+  plane.set_sample_every(obs::LatencyPlane::kDefaultSampleEvery);
+}
+
+TEST(MechanismTrace, RingWrapKeepsNewestInOrder) {
+  auto& trace = obs::MechanismTrace::global();
+  trace.set_enabled(true);
+  const std::size_t tids_before = trace.thread_count();
+  constexpr std::uint64_t kEvents = 3000;  // ~3x the ring
+  std::thread recorder([&trace] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      trace.record(obs::TraceKind::kReshardCutover, i);
+    }
+  });
+  recorder.join();
+  trace.set_enabled(false);
+  const auto events = trace.dump();
+  // Keep only the recorder thread's events (new tid >= prior count).
+  std::vector<obs::MechanismTrace::Event> mine;
+  for (const auto& e : events) {
+    if (e.tid >= tids_before) mine.push_back(e);
+  }
+  ASSERT_EQ(mine.size(), obs::MechanismTrace::kRingSlots);
+  // The survivors are exactly the newest kRingSlots events, seq-ordered.
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i].arg, kEvents - obs::MechanismTrace::kRingSlots + i);
+    EXPECT_EQ(mine[i].seq, kEvents - obs::MechanismTrace::kRingSlots + i);
+    if (i > 0) {
+      EXPECT_LT(mine[i - 1].seq, mine[i].seq);
+      EXPECT_LE(mine[i - 1].ts_ns, mine[i].ts_ns);
+    }
+  }
+}
+
+TEST(MechanismTrace, DisabledRecordsNothing) {
+  auto& trace = obs::MechanismTrace::global();
+  trace.set_enabled(false);
+  const std::size_t n = trace.dump().size();
+  obs::trace_event(obs::TraceKind::kHelp, 99);
+  EXPECT_EQ(trace.dump().size(), n);
+}
+
+TEST(MechanismTrace, ChromeJsonShape) {
+  auto& trace = obs::MechanismTrace::global();
+  trace.set_enabled(true);
+  obs::trace_event(obs::TraceKind::kLeaseOpen, 5);
+  trace.set_enabled(false);
+  const std::string json = trace.chrome_json();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lease_open\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+// A tree instantiated with the RegistryOpStats policy bumps the shared
+// pnb_engine_* family in the process registry.
+TEST(RegistryOpStats, TreeOpsBumpRegistryCounters) {
+  using Tree =
+      PnbBst<long, std::less<long>, EpochReclaimer, obs::RegistryOpStats>;
+  Tree tree;
+  const OpStatsSnapshot before = tree.stats().snapshot();
+  for (long k = 0; k < 200; ++k) tree.insert(k);
+  for (long k = 0; k < 200; k += 2) tree.erase(k);
+  for (long k = 0; k < 200; ++k) tree.contains(k);
+  const OpStatsSnapshot after = tree.stats().snapshot();
+  EXPECT_GE(after.attempts - before.attempts, 300u);
+  EXPECT_GE(after.commits - before.commits, 300u);
+  EXPECT_GE(after.nodes_allocated - before.nodes_allocated, 200u);
+  // The same counters are visible through the global exposition text.
+  const std::string text =
+      obs::MetricsRegistry::global().prometheus_text();
+  EXPECT_NE(text.find("pnb_engine_commits_total{engine=\"registry\"}"),
+            std::string::npos);
+}
+
+// The sharded-map adapter fans out per-shard gauges and aggregates the
+// engine family; exercised here against a private registry.
+TEST(Adapters, ShardedMapCollectorEmitsFamilies) {
+  using Map = ShardedPnbMap<long, long, 4, RangeSplitter<long>,
+                            std::less<long>, EpochReclaimer,
+                            CountingOpStats>;
+  Map map(RangeSplitter<long>{0, 1024});
+  for (long k = 0; k < 100; ++k) map.insert(k, k);
+  obs::MetricsRegistry reg;
+  obs::Registration handle;
+  obs::register_sharded_map(reg, handle, map, "");
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("pnb_shard_size{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("pnb_shard_size{shard=\"3\"}"), std::string::npos);
+  EXPECT_NE(text.find("pnb_shard_commits_total"), std::string::npos);
+  EXPECT_NE(text.find("pnb_engine_commits_total"), std::string::npos);
+  EXPECT_NE(text.find("pnb_lifecycle_current_generation"),
+            std::string::npos);
+  EXPECT_NE(text.find("pnb_admission_admitted_total"), std::string::npos);
+  // The shard sizes must sum to the map size.
+  double total = 0.0;
+  for (const auto& s : reg.snapshot()) {
+    if (s.name == "pnb_shard_size") total += s.value;
+  }
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+}  // namespace
+}  // namespace pnbbst

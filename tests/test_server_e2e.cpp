@@ -183,6 +183,105 @@ TEST_F(ServerE2E, StatsReportServerAndMapGauges) {
   EXPECT_EQ(sr.value_or(static_cast<StatId>(0xFFFF), 1234), 1234u);
 }
 
+TEST_F(ServerE2E, StatsReportPerOpcodeRequestCounters) {
+  start();
+  Client c = connect();
+  ASSERT_EQ(c.put(1, 1).status, Status::kOk);
+  ASSERT_EQ(c.get(1).status, Status::kOk);
+  ASSERT_EQ(c.get(2).status, Status::kNotFound);
+  ASSERT_EQ(c.del(1).status, Status::kOk);
+  ASSERT_EQ(c.batch({BatchEntry::insert(3, 3)}).status, Status::kOk);
+  ASSERT_EQ(c.range(0, 100, 0).status, Status::kOk);
+
+  auto sr = c.stats();
+  ASSERT_EQ(sr.status, Status::kOk);
+  EXPECT_EQ(sr.value_or(StatId::kReqGet, 99), 2u);
+  EXPECT_EQ(sr.value_or(StatId::kReqPut, 99), 1u);
+  EXPECT_EQ(sr.value_or(StatId::kReqDel, 99), 1u);
+  EXPECT_EQ(sr.value_or(StatId::kReqBatch, 99), 1u);
+  EXPECT_EQ(sr.value_or(StatId::kReqRange, 99), 1u);
+  // The STATS request that carried this reply counts itself.
+  EXPECT_EQ(sr.value_or(StatId::kReqStats, 99), 1u);
+  EXPECT_EQ(sr.value_or(StatId::kReqMetrics, 99), 0u);
+  EXPECT_EQ(sr.value_or(StatId::kBatchesShed, 99), 0u);
+}
+
+TEST_F(ServerE2E, MetricsOpcodeServesPrometheusText) {
+  start();
+  Client c = connect();
+  ASSERT_EQ(c.put(1, 1).status, Status::kOk);
+
+  const auto mr = c.metrics();
+  ASSERT_EQ(mr.status, Status::kOk);
+  ASSERT_FALSE(mr.text.empty());
+  // All six gauge families are present (acceptance criterion), carrying
+  // this server's port label.
+  for (const char* family :
+       {"pnb_engine_", "pnb_arena_", "pnb_lifecycle_", "pnb_admission_",
+        "pnb_shard_", "pnb_server_"}) {
+    EXPECT_NE(mr.text.find(family), std::string::npos) << family;
+  }
+  char port_label[32];
+  std::snprintf(port_label, sizeof(port_label), "port=\"%u\"",
+                server_->port());
+  EXPECT_NE(mr.text.find(port_label), std::string::npos);
+  EXPECT_NE(mr.text.find("# TYPE pnb_shard_size gauge"),
+            std::string::npos);
+
+  // A second server on another port must not double-register families:
+  // its samples carry its own port label and vanish after stop().
+  ServerMap map2{RangeSplitter<std::int64_t>{0, kKeySpace}};
+  {
+    auto server2 = std::make_unique<Server>(map2, ServerConfig{});
+    ASSERT_TRUE(server2->start());
+    char label2[32];
+    std::snprintf(label2, sizeof(label2), "port=\"%u\"", server2->port());
+    const auto mr2 = c.metrics();
+    ASSERT_EQ(mr2.status, Status::kOk);
+    EXPECT_NE(mr2.text.find(label2), std::string::npos);
+    server2->stop();
+    const auto mr3 = c.metrics();
+    EXPECT_EQ(mr3.text.find(label2), std::string::npos);
+  }
+}
+
+TEST_F(ServerE2E, HttpMetricsListenerServesScrape) {
+  ServerConfig cfg;
+  cfg.metrics_port = 0;  // ephemeral
+  start(cfg);
+  ASSERT_NE(server_->metrics_port(), 0);
+  Client c = connect();
+  ASSERT_EQ(c.put(1, 1).status, Status::kOk);
+
+  // Raw HTTP/1.1 over the Client's socket helpers: the listener speaks
+  // just enough HTTP for a Prometheus scraper.
+  Client http;
+  ASSERT_TRUE(http.connect("127.0.0.1", server_->metrics_port()));
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(http.send_bytes(reinterpret_cast<const std::uint8_t*>(req),
+                              sizeof(req) - 1));
+  const std::string page = http.recv_all();
+  EXPECT_NE(page.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(page.find("text/plain; version=0.0.4"), std::string::npos);
+  for (const char* family :
+       {"pnb_engine_", "pnb_arena_", "pnb_lifecycle_", "pnb_admission_",
+        "pnb_shard_", "pnb_server_"}) {
+    EXPECT_NE(page.find(family), std::string::npos) << family;
+  }
+  // The scrape itself is counted.
+  auto sr = c.stats();
+  EXPECT_GE(sr.value_or(StatId::kReqMetrics, 0), 1u);
+
+  // Non-/metrics paths 404 without disturbing the server.
+  Client other;
+  ASSERT_TRUE(other.connect("127.0.0.1", server_->metrics_port()));
+  const char bad[] = "GET /nope HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(other.send_bytes(reinterpret_cast<const std::uint8_t*>(bad),
+                               sizeof(bad) - 1));
+  EXPECT_NE(other.recv_all().find("404"), std::string::npos);
+  EXPECT_EQ(c.get(1).status, Status::kOk);
+}
+
 TEST_F(ServerE2E, PipelinedRequestsAnswerInOrder) {
   start();
   Client c = connect();
