@@ -21,6 +21,7 @@
 #include "loadgen/client.h"
 #include "loadgen/loadgen.h"
 #include "server/server.h"
+#include "shard/rebalance.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -46,6 +47,23 @@ int main(int argc, char** argv) {
   if (!server.start()) return 1;
   std::printf("serving 127.0.0.1:%u (2 event loops, 8 shards)\n",
               server.port());
+
+  // Adaptive sharding on the serving map: the rebalancer senses skew off
+  // the same per-shard families the server just registered (label
+  // selector == the server's port label) and reshards through the
+  // loss-free migration path while traffic runs. The sequential bulk
+  // load below lands on the low shards, so a trigger is expected. Built
+  // BEFORE the METRICS_URL announcement so a scraper that fetches the
+  // moment the line appears already sees the pnb_rebalance_* families.
+  char port_label[32];
+  std::snprintf(port_label, sizeof(port_label), "port=\"%u\"",
+                server.port());
+  Rebalancer<net::ServerMap>::Config rcfg;
+  rcfg.labels = port_label;
+  rcfg.interval = std::chrono::milliseconds(100);
+  Rebalancer<net::ServerMap> rebalancer(map, rcfg);
+  rebalancer.start();
+
   std::printf("METRICS_URL=http://127.0.0.1:%u/metrics\n",
               server.metrics_port());
   std::fflush(stdout);
@@ -138,6 +156,9 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
   }
   server.stop();
+  rebalancer.stop();
+  std::printf("rebalancer: %" PRIu64 " adaptive reshards, last skew %.2f\n",
+              rebalancer.triggers(), rebalancer.last_skew());
   std::printf("done: map holds %zu keys\n", map.size());
   return lr.errors == 0 ? 0 : 1;
 }

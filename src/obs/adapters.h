@@ -202,13 +202,28 @@ void register_sharded_map(MetricsRegistry& reg, Registration& handle,
       [&map, labels](std::vector<Sample>& out) {
         const auto sizes = map.shard_sizes();
         char lbuf[96];
+        std::size_t total = 0;
+        std::size_t biggest = 0;
         for (std::size_t i = 0; i < sizes.size(); ++i) {
           std::snprintf(lbuf, sizeof(lbuf), "shard=\"%zu\"", i);
           out.push_back({"pnb_shard_size",
                          detail::join_labels(labels, lbuf),
                          static_cast<double>(sizes[i])});
+          total += sizes[i];
+          if (sizes[i] > biggest) biggest = sizes[i];
         }
+        // max/mean size skew: 1.0 = perfectly balanced, NumShards = all
+        // keys on one shard. The one skew definition shared by dashboards
+        // and the adaptive rebalancer (src/shard/rebalance.h reads this
+        // family back out of the registry rather than re-deriving it).
+        const double mean =
+            static_cast<double>(total) / static_cast<double>(sizes.size());
+        out.push_back({"pnb_shard_imbalance_ratio", labels,
+                       total == 0 ? 1.0
+                                  : static_cast<double>(biggest) / mean});
       });
+  reg.declare("pnb_shard_imbalance_ratio", MetricType::kGauge,
+              "Max shard size over mean shard size (1.0 = balanced)");
   if constexpr (Map::kStatsEnabled) {
     // Per-shard mechanism gauges plus the aggregate pnb_engine_* view
     // (summed across shards; what an operator alerts on).
@@ -258,9 +273,16 @@ void register_sharded_map(MetricsRegistry& reg, Registration& handle,
   register_admission(reg, handle, map, labels);
 }
 
-// Latency plane: Prometheus summary per op class — quantile samples
-// plus _count and _sum (sum reconstructed as mean*count of the merged
-// histogram, bucket-midpoint precision).
+// Latency plane: per op class, BOTH a Prometheus summary (quantile
+// samples plus _count/_sum; sum reconstructed as mean*count of the merged
+// histogram, bucket-midpoint precision) and a native le-bucketed
+// histogram family pnb_op_latency_ns_hist on the fixed
+// kLatencyBucketBoundsNs ladder — summaries for cheap single-instance
+// reads, histograms for cross-instance aggregation and PromQL
+// histogram_quantile(). Cumulative bucket counts come from
+// Histogram::count_le on the same merged histogram, so _bucket counts
+// are non-decreasing in le by construction and the terminal +Inf bucket
+// equals _count exactly (tools/obs_scrape.py --check enforces both).
 template <class Plane>
 void register_latency(MetricsRegistry& reg, Registration& handle,
                       Plane& plane, std::string labels) {
@@ -289,12 +311,28 @@ void register_latency(MetricsRegistry& reg, Registration& handle,
                          static_cast<double>(h.count())});
           out.push_back({"pnb_op_latency_ns_sum", base,
                          h.mean() * static_cast<double>(h.count())});
+          for (std::size_t b = 0; b < kLatencyBucketCount; ++b) {
+            out.push_back(
+                {"pnb_op_latency_ns_hist_bucket",
+                 base + ",le=\"" +
+                     std::to_string(kLatencyBucketBoundsNs[b]) + "\"",
+                 static_cast<double>(h.count_le(kLatencyBucketBoundsNs[b]))});
+          }
+          out.push_back({"pnb_op_latency_ns_hist_bucket",
+                         base + ",le=\"+Inf\"",
+                         static_cast<double>(h.count())});
+          out.push_back({"pnb_op_latency_ns_hist_count", base,
+                         static_cast<double>(h.count())});
+          out.push_back({"pnb_op_latency_ns_hist_sum", base,
+                         h.mean() * static_cast<double>(h.count())});
         }
       });
   reg.declare("pnb_op_latency_ns_count", MetricType::kCounter,
               "Sampled ops per class");
   reg.declare("pnb_op_latency_ns_sum", MetricType::kCounter,
               "Summed sampled latency per class, ns");
+  reg.declare("pnb_op_latency_ns_hist", MetricType::kHistogram,
+              "Sampled op latency, le-bucketed (fixed ns ladder)");
 }
 
 }  // namespace pnbbst::obs

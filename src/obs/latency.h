@@ -52,6 +52,20 @@ inline const char* op_class_name(OpClass c) noexcept {
   return "unknown";
 }
 
+// Fixed le ladder (ns) for the native Prometheus histogram exposition
+// (obs/adapters.h register_latency): sub-µs point ops through second-scale
+// stalls. Cumulative bucket counts come from Histogram::count_le, so each
+// boundary is resolved to the underlying log-bucket grid (~1.6% relative
+// error); the terminal +Inf bucket is the exact total count. A fixed
+// ladder (vs. per-scrape quantiles) is what aggregation across instances
+// and PromQL histogram_quantile() need.
+inline constexpr std::uint64_t kLatencyBucketBoundsNs[] = {
+    250,        500,        1'000,       2'500,       5'000,
+    10'000,     25'000,     50'000,      100'000,     250'000,
+    1'000'000,  2'500'000,  10'000'000,  100'000'000, 1'000'000'000};
+inline constexpr std::size_t kLatencyBucketCount =
+    sizeof(kLatencyBucketBoundsNs) / sizeof(kLatencyBucketBoundsNs[0]);
+
 // Histogram with the same bucket geometry as util/histogram.h but
 // relaxed-atomic counters: single-writer record(), any-thread snapshot.
 class AtomicHistogram {

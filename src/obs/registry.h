@@ -86,9 +86,11 @@ class StripedCounter {
   CachePadded<std::atomic<std::uint64_t>> cells_[kStripes];
 };
 
-// Prometheus metric families; histogram data is exported in summary form
-// (pre-computed quantile labels), so only these three appear in TYPE lines.
-enum class MetricType : std::uint8_t { kCounter, kGauge, kSummary };
+// Prometheus metric families. Latency data is exported BOTH as a summary
+// (pre-computed quantile labels) and as a native le-bucketed histogram
+// (obs/adapters.h register_latency), so all four appear in TYPE lines.
+enum class MetricType : std::uint8_t { kCounter, kGauge, kSummary,
+                                       kHistogram };
 
 inline const char* metric_type_name(MetricType t) noexcept {
   switch (t) {
@@ -98,6 +100,8 @@ inline const char* metric_type_name(MetricType t) noexcept {
       return "gauge";
     case MetricType::kSummary:
       return "summary";
+    case MetricType::kHistogram:
+      return "histogram";
   }
   return "untyped";
 }
@@ -271,15 +275,35 @@ class MetricsRegistry {
     out.reserve(samples.size() * 64);
     std::string last_family;
     for (const Sample& s : samples) {
-      if (s.name != last_family) {
-        last_family = s.name;
-        const auto it = families.find(s.name);
+      // Header name: the sample's own declared family, or — for the
+      // _bucket/_count/_sum series of a declared histogram/summary base
+      // (e.g. pnb_op_latency_ns_hist_bucket) — the base family, so the
+      // TYPE histogram line appears once above its series. Exact
+      // declarations win, preserving the standalone *_count counter
+      // families some adapters declare deliberately.
+      std::string fam = s.name;
+      auto it = families.find(fam);
+      if (it == families.end()) {
+        for (const char* suffix : {"_bucket", "_count", "_sum"}) {
+          const std::size_t n = std::string_view(suffix).size();
+          if (fam.size() > n && fam.compare(fam.size() - n, n, suffix) == 0) {
+            auto base_it = families.find(fam.substr(0, fam.size() - n));
+            if (base_it != families.end()) {
+              fam = base_it->first;
+              it = base_it;
+            }
+            break;
+          }
+        }
+      }
+      if (fam != last_family) {
+        last_family = fam;
         const char* type = it != families.end()
                                ? metric_type_name(it->second.type)
                                : "untyped";
-        out += "# HELP " + s.name + " ";
+        out += "# HELP " + fam + " ";
         out += it != families.end() ? it->second.help : "";
-        out += "\n# TYPE " + s.name + " ";
+        out += "\n# TYPE " + fam + " ";
         out += type;
         out += "\n";
       }

@@ -102,6 +102,7 @@
 // by concurrent updates.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -121,6 +122,7 @@
 #include "lifecycle/lifetime_manager.h"
 #include "obs/trace.h"
 #include "scan/parallel_scan.h"
+#include "shard/key_sampler.h"
 #include "util/backoff.h"
 #include "util/random.h"
 
@@ -128,6 +130,16 @@ namespace pnbbst {
 
 // Contiguous range partition of an integral keyspace [lo, hi). Keys outside
 // the configured bounds clamp to the edge shards, so the splitter is total.
+//
+// Two modes share the type (reshard() requires the old and new splitter to
+// be the same type, so adaptive boundaries cannot live in a second class):
+//  - equal-width (cuts empty): shard i owns [lo + i*width, lo + (i+1)*width)
+//  - explicit boundaries (cuts = sorted interior cut points, size < nshards):
+//    shard i owns [cuts[i-1], cuts[i]), with lo/hi still clamping the edges.
+//    Fewer than nshards-1 cuts leaves the top shards empty — legal, the
+//    splitter stays total.
+// Ownership stays contiguous in both modes, so kRangePartitioned narrowing
+// (shard_span) remains exact.
 template <class K>
 struct RangeSplitter {
   static_assert(std::is_integral_v<K>,
@@ -136,10 +148,32 @@ struct RangeSplitter {
 
   K lo{};
   K hi{};  // exclusive
+  std::vector<K> cuts{};  // sorted interior boundaries; empty = equal-width
+
+  // Explicit-boundary factory: dedups/sorts/clamps `boundaries` into (lo,hi)
+  // and keeps at most nshards-1 of them. The rebalancer feeds quantiles of
+  // its sampled-key ring through here (src/shard/rebalance.h).
+  static RangeSplitter with_boundaries(K lo, K hi, std::vector<K> boundaries,
+                                       std::size_t nshards) {
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+    std::erase_if(boundaries, [&](const K& c) { return c <= lo || c >= hi; });
+    if (nshards > 0 && boundaries.size() > nshards - 1) {
+      boundaries.resize(nshards - 1);
+    }
+    return RangeSplitter{lo, hi, std::move(boundaries)};
+  }
 
   std::size_t shard_of(const K& k, std::size_t nshards) const {
     if (k < lo) return 0;
     if (k >= hi) return nshards - 1;
+    if (!cuts.empty()) {
+      // Index = number of cuts <= k; cuts partition [lo, hi) into
+      // cuts.size()+1 <= nshards contiguous runs.
+      const auto it = std::upper_bound(cuts.begin(), cuts.end(), k);
+      return static_cast<std::size_t>(it - cuts.begin());
+    }
     const auto span = static_cast<std::uint64_t>(hi) -
                       static_cast<std::uint64_t>(lo);
     // ceil(span / nshards) — written without `span + nshards - 1`, which
@@ -200,6 +234,7 @@ class ShardedPnbMap {
  public:
   using key_type = K;
   using mapped_type = V;
+  using splitter_type = Splitter;
   using Map = PnbMap<K, V, Compare, R, Stats, Alloc>;
   // Batch ingest shapes (src/ingest/, BatchIngestible in core/concepts.h).
   using bulk_item = std::pair<K, V>;
@@ -423,6 +458,9 @@ class ShardedPnbMap {
     // so the loaded table outlives every worker's dereference of it.
     auto guard = reclaimer_->pin();
     std::vector<batch_op> pending = std::move(ops);
+    // Sample once, before the routing loop: a batch bounced by a cutover
+    // retries with the same keys and must not double-count them.
+    for (const batch_op& op : pending) sample_key(op.key);
     while (!pending.empty()) {
       const Table* t = table_.load(std::memory_order_seq_cst);
       std::array<std::vector<batch_op>, NumShards> routed;
@@ -654,9 +692,25 @@ class ShardedPnbMap {
     // alive, and the task pin covers retirements a helping worker may
     // trigger. Results are identical to the sequential merged scan on this
     // same Snapshot (same frozen phases, same merge).
+    //
+    // A snapshot whose span is a SINGLE shard (common for point-like or
+    // hot-range queries under RangeSplitter, and via snapshot_span for any
+    // span the splitter maps to one shard) has nothing to fan out at the
+    // shard level, which used to serialize the whole query on one core.
+    // For integral keys it instead delegates to the per-map chunked scan
+    // (core/pnb_map.h): [lo, hi] is tiled with scan::partition_range and
+    // each chunk scans the SAME frozen shard phase, so the concatenation
+    // is bit-identical to this snapshot's sequential scan — same contract,
+    // intra-shard parallelism.
     std::vector<std::pair<K, V>> parallel_range_scan(
         const K& lo, const K& hi,
         const scan::ParallelScanOptions& opts = {}) const {
+      if constexpr (std::is_integral_v<K>) {
+        if (snaps_.size() == 1) {
+          auto guard = owner_->reclaimer_->pin();
+          return snaps_[0].snap.parallel_range_scan(lo, hi, opts);
+        }
+      }
       std::vector<std::vector<std::pair<K, V>>> parts(snaps_.size());
       scan::run_tasks(opts, snaps_.size(), [&](std::size_t i) {
         auto guard = owner_->reclaimer_->pin();
@@ -668,6 +722,12 @@ class ShardedPnbMap {
     std::size_t parallel_range_count(
         const K& lo, const K& hi,
         const scan::ParallelScanOptions& opts = {}) const {
+      if constexpr (std::is_integral_v<K>) {
+        if (snaps_.size() == 1) {
+          auto guard = owner_->reclaimer_->pin();
+          return snaps_[0].snap.parallel_range_count(lo, hi, opts);
+        }
+      }
       std::vector<std::size_t> parts(snaps_.size(), 0);
       scan::run_tasks(opts, snaps_.size(), [&](std::size_t i) {
         auto guard = owner_->reclaimer_->pin();
@@ -790,6 +850,15 @@ class ShardedPnbMap {
         .snapshot();
   }
 
+  // Mechanism counters folded in from shards retired by past reshards.
+  // shard_stats(i) covers only the live generation (fresh bulk-built
+  // trees restart from zero at every cutover); lifetime totals are
+  // carried_stats() plus the sum of the live shards.
+  OpStatsSnapshot carried_stats() const {
+    std::lock_guard<std::mutex> lock(reshard_mutex_);
+    return carried_stats_;
+  }
+
   // Retired-generation gauges, read lock-free off the LifetimeManager (no
   // side fields, no mutex — the manager's counters are the single source
   // of truth, updated atomically with retirement and reclamation).
@@ -805,6 +874,19 @@ class ShardedPnbMap {
   lifecycle::LifetimeManager<R>& lifetime() noexcept { return lifetime_; }
   const lifecycle::LifetimeManager<R>& lifetime() const noexcept {
     return lifetime_;
+  }
+
+  // Attach/detach a write-path key sampler (shard/key_sampler.h). The
+  // rebalancer owns the sampler and attaches it for the duration of its
+  // lifetime; nullptr detaches. Detaching does not wait for in-flight
+  // writers — the sampler must outlive the last write that could observe
+  // the pointer (the Rebalancer guarantees this by only detaching at
+  // destruction, after stop(), when the caller has quiesced writers, the
+  // same quiescence the map's own destructor already assumes).
+  void set_key_sampler(KeySampler<K>* sampler)
+    requires std::is_integral_v<K>
+  {
+    key_sampler_.store(sampler, std::memory_order_release);
   }
 
   // Admission-control policy consulted by apply_batch (ingest/admission.h).
@@ -947,6 +1029,21 @@ class ShardedPnbMap {
     t->shards[s]->writers.fetch_sub(1, std::memory_order_release);
   }
 
+  // Write-path sampling hook: one relaxed load when no sampler is attached
+  // (the common case), compiled out entirely for non-integral keys. Called
+  // BEFORE admission/routing so sampled keys reflect offered load, not just
+  // admitted load — the rebalancer wants to know where pressure is, and a
+  // shed write is still pressure.
+  void sample_key(const K& k) noexcept {
+    if constexpr (std::is_integral_v<K>) {
+      if (KeySampler<K>* ks = key_sampler_.load(std::memory_order_acquire)) {
+        ks->maybe_record(k);
+      }
+    } else {
+      (void)k;
+    }
+  }
+
   // The single-key write protocol shared by insert/erase/assign: route on
   // the loaded table, admit (gauge + re-check + intent recording), apply
   // through the routed shard's ordinary path, release the gauge when the
@@ -956,6 +1053,7 @@ class ShardedPnbMap {
   // ack.
   template <class RecordFn, class ApplyFn>
   bool routed_write(const K& k, RecordFn&& record, ApplyFn&& apply) {
+    sample_key(k);
     auto guard = reclaimer_->pin();
     for (;;) {
       const Table* t = table_.load(std::memory_order_seq_cst);
@@ -1032,6 +1130,15 @@ class ShardedPnbMap {
     // rebalances on (arg = lifecycle generation being retired).
     obs::trace_event(obs::TraceKind::kReshardCutover,
                      lifetime_.current_generation());
+    // Fold the retiring shards' mechanism counters into the carried
+    // aggregate before they're reclaimed; bulk_load rebuilds fresh trees
+    // with zeroed stats, so without this every reshard would erase the
+    // generation's history. Serialized by reshard_mutex_ (both callers
+    // hold it); readers go through carried_stats() under the same lock.
+    for (const auto& [sh, entries] : replaced) {
+      (void)entries;
+      accumulate_stats(carried_stats_, sh->map.stats().snapshot());
+    }
     std::vector<lifecycle::RetiredResource> resources;
     resources.reserve(replaced.size() + 3);
     resources.push_back({const_cast<Table*>(t_old), &delete_table,
@@ -1152,9 +1259,30 @@ class ShardedPnbMap {
   std::atomic<std::uint64_t> adm_blocked_{0};
   std::atomic<std::uint64_t> adm_deferred_{0};
   std::atomic<std::uint64_t> adm_timed_out_{0};
+  // Optional write-path key sampler (set_key_sampler); null = sampling off.
+  std::atomic<KeySampler<K>*> key_sampler_{nullptr};
   std::atomic<const Table*> table_{nullptr};
+  static void accumulate_stats(OpStatsSnapshot& into,
+                               const OpStatsSnapshot& from) noexcept {
+    into.attempts += from.attempts;
+    into.commits += from.commits;
+    into.handshake_aborts += from.handshake_aborts;
+    into.freeze_fail_aborts += from.freeze_fail_aborts;
+    into.validate_fails += from.validate_fails;
+    into.helps += from.helps;
+    into.scans += from.scans;
+    into.scan_helps += from.scan_helps;
+    into.child_cas_failures += from.child_cas_failures;
+    into.nodes_allocated += from.nodes_allocated;
+    into.infos_allocated += from.infos_allocated;
+    into.nodes_retired += from.nodes_retired;
+    into.unpublished_frees += from.unpublished_frees;
+  }
+
   // Serializes reshard()/rebuild_shard() (one migration at a time).
   mutable std::mutex reshard_mutex_;
+  // Sum of retired generations' shard stats (guarded by reshard_mutex_).
+  OpStatsSnapshot carried_stats_{};
 };
 
 // The sharded front-end models the same concepts as the single-shard map.

@@ -51,6 +51,18 @@ class Histogram {
   // value of the containing bucket.
   std::uint64_t quantile(double q) const noexcept;
 
+  // Cumulative count backing le-bucketed Prometheus exposition
+  // (obs/adapters.h): recorded values in buckets up to and including v's
+  // bucket. Exact to bucket resolution (~1.6% relative error — values
+  // sharing v's bucket but greater than v are included); monotone in v
+  // because index_for is monotone.
+  std::uint64_t count_le(std::uint64_t v) const noexcept {
+    const std::size_t last = index_for(v);
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i <= last; ++i) n += counts_[i];
+    return n;
+  }
+
   std::uint64_t p50() const noexcept { return quantile(0.50); }
   std::uint64_t p90() const noexcept { return quantile(0.90); }
   std::uint64_t p99() const noexcept { return quantile(0.99); }

@@ -108,5 +108,25 @@ TEST(Histogram, QuantileClampsOutOfRangeArgs) {
   EXPECT_EQ(h.quantile(2.0), 9u);
 }
 
+TEST(Histogram, CountLeIsCumulativeAndMonotone) {
+  Histogram h;
+  const std::uint64_t values[] = {1, 10, 100, 1000, 1000, 100000};
+  for (const std::uint64_t v : values) h.record(v);
+  EXPECT_EQ(h.count_le(0), 0u);
+  // count_le answers at bucket resolution: a recorded value is counted
+  // once the query reaches its bucket, and by the exact value at latest.
+  EXPECT_GE(h.count_le(10), 2u);
+  EXPECT_GE(h.count_le(1000), 5u);
+  EXPECT_EQ(h.count_le(100000), 6u);
+  EXPECT_EQ(h.count_le(UINT64_MAX), h.count());
+  // Monotone in the argument across the whole le ladder.
+  std::uint64_t prev = 0;
+  for (std::uint64_t le = 1; le <= (1u << 20); le *= 2) {
+    const std::uint64_t c = h.count_le(le);
+    EXPECT_GE(c, prev) << "le=" << le;
+    prev = c;
+  }
+}
+
 }  // namespace
 }  // namespace pnbbst

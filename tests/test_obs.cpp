@@ -12,10 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/adapters.h"
@@ -273,12 +278,163 @@ TEST(Adapters, ShardedMapCollectorEmitsFamilies) {
   EXPECT_NE(text.find("pnb_lifecycle_current_generation"),
             std::string::npos);
   EXPECT_NE(text.find("pnb_admission_admitted_total"), std::string::npos);
-  // The shard sizes must sum to the map size.
+  // The shard sizes must sum to the map size, and the imbalance gauge is
+  // max/mean of the same walk: keys 0..99 under an equal-width split of
+  // [0, 1024) all land on shard 0 -> 100 / (100/4) = 4.0.
   double total = 0.0;
+  double imbalance = 0.0;
   for (const auto& s : reg.snapshot()) {
     if (s.name == "pnb_shard_size") total += s.value;
+    if (s.name == "pnb_shard_imbalance_ratio") imbalance = s.value;
   }
   EXPECT_DOUBLE_EQ(total, 100.0);
+  EXPECT_DOUBLE_EQ(imbalance, 4.0);
+  EXPECT_NE(text.find("# TYPE pnb_shard_imbalance_ratio gauge\n"),
+            std::string::npos);
+}
+
+// Native le-bucketed histogram exposition next to the summary: declared
+// as TYPE histogram, bucket counts cumulative and non-decreasing in
+// NUMERIC le order, terminal +Inf bucket == _hist_count == the summary
+// _count for the same class. (The exposition page itself orders samples
+// lexicographically by label string — tools/obs_scrape.py re-sorts by
+// numeric le before checking, and so does this test.)
+TEST(Adapters, LatencyHistogramExpositionShape) {
+  auto& plane = obs::LatencyPlane::global();
+  plane.set_sample_every(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t t0 = plane.maybe_start();
+    ASSERT_NE(t0, 0u);
+    plane.finish(obs::OpClass::kInsert, t0);
+  }
+  plane.set_sample_every(obs::LatencyPlane::kDefaultSampleEvery);
+
+  obs::MetricsRegistry reg;
+  obs::Registration handle;
+  obs::register_latency(reg, handle, plane, "");
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE pnb_op_latency_ns_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pnb_op_latency_ns_count counter\n"),
+            std::string::npos);
+
+  double count = -1.0;
+  double hist_count = -1.0;
+  double inf = -1.0;
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  for (const auto& s : reg.snapshot()) {
+    if (s.labels.find("op=\"insert\"") == std::string::npos) continue;
+    if (s.name == "pnb_op_latency_ns_count") count = s.value;
+    if (s.name == "pnb_op_latency_ns_hist_count") hist_count = s.value;
+    if (s.name == "pnb_op_latency_ns_hist_bucket") {
+      const auto pos = s.labels.find("le=\"");
+      ASSERT_NE(pos, std::string::npos) << s.labels;
+      const auto end = s.labels.find('"', pos + 4);
+      const std::string le = s.labels.substr(pos + 4, end - pos - 4);
+      if (le == "+Inf") {
+        inf = s.value;
+      } else {
+        buckets.emplace_back(std::stod(le), s.value);
+      }
+    }
+  }
+  // The global plane is shared across this binary, so counts are >= what
+  // this test recorded; the three totals must still agree exactly.
+  ASSERT_GE(count, 200.0);
+  EXPECT_DOUBLE_EQ(hist_count, count);
+  EXPECT_DOUBLE_EQ(inf, count);
+  ASSERT_EQ(buckets.size(), obs::kLatencyBucketCount);
+  std::sort(buckets.begin(), buckets.end());
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second)
+        << "bucket le=" << buckets[i].first << " not cumulative";
+  }
+  EXPECT_LE(buckets.back().second, inf);
+}
+
+// Periodic dump-to-file: incremental flushes keep history the in-memory
+// ring loses to wrap, and an overrun between flushes is COUNTED instead
+// of silently truncating the record.
+TEST(MechanismTrace, PeriodicDumpKeepsWrappedHistoryAndCountsDrops) {
+  constexpr std::size_t kSlots = obs::MechanismTrace::kRingSlots;
+  auto& trace = obs::MechanismTrace::global();
+  trace.set_enabled(true);
+  const std::string path = ::testing::TempDir() + "pnb_trace_dump.json";
+  ASSERT_TRUE(
+      trace.start_periodic_dump(path, std::chrono::hours(1)));
+  // Second start while running is refused, not a restart.
+  EXPECT_FALSE(
+      trace.start_periodic_dump(path, std::chrono::hours(1)));
+
+  // Drain whatever earlier tests left in the rings so the deltas below
+  // are exact for this thread's stream.
+  trace.flush_periodic_dump();
+  const std::uint64_t base_written = trace.periodic_dump_written();
+  const std::uint64_t base_dropped = trace.periodic_dump_dropped();
+
+  // 3x the ring capacity, flushed once per lap: every event reaches the
+  // file even though the ring only retains the last kRingSlots.
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t i = 0; i < kSlots; ++i) {
+      obs::trace_event(obs::TraceKind::kHelp, i);
+    }
+    trace.flush_periodic_dump();
+  }
+  EXPECT_EQ(trace.periodic_dump_written() - base_written, 3 * kSlots);
+  EXPECT_EQ(trace.periodic_dump_dropped(), base_dropped);
+
+  // Two unflushed laps: exactly one lap's worth is gone — and accounted.
+  for (std::uint64_t i = 0; i < 2 * kSlots; ++i) {
+    obs::trace_event(obs::TraceKind::kHelp, i);
+  }
+  trace.flush_periodic_dump();
+  EXPECT_EQ(trace.periodic_dump_dropped() - base_dropped, kSlots);
+
+  trace.set_enabled(false);
+  trace.stop_periodic_dump();
+  trace.stop_periodic_dump();  // idempotent
+
+  // The file is a well-terminated JSON array of one-line instant events.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string body = ss.str();
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_EQ(body.substr(body.size() - 2), "]\n");
+  std::size_t events = 0;
+  for (std::size_t pos = body.find("{\"name\":");
+       pos != std::string::npos; pos = body.find("{\"name\":", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, trace.periodic_dump_written());
+  EXPECT_NE(body.find("\"name\":\"help\""), std::string::npos);
+}
+
+TEST(MechanismTrace, PeriodicDumpBackgroundThreadFlushesOnItsOwn) {
+  auto& trace = obs::MechanismTrace::global();
+  trace.set_enabled(true);
+  const std::string path =
+      ::testing::TempDir() + "pnb_trace_dump_bg.json";
+  ASSERT_TRUE(
+      trace.start_periodic_dump(path, std::chrono::milliseconds(1)));
+  for (int i = 0; i < 100; ++i) {
+    obs::trace_event(obs::TraceKind::kReshardCutover, 1);
+  }
+  // No manual flush: the background thread must pick the events up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (trace.periodic_dump_written() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(trace.periodic_dump_written(), 100u);
+  trace.set_enabled(false);
+  trace.stop_periodic_dump();
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
 }
 
 }  // namespace

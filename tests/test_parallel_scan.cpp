@@ -298,5 +298,55 @@ TEST(ParallelScanSharded, MergedParallelQueryMatchesSequential) {
             hashed.range_scan(0L, 2999L));
 }
 
+TEST(ParallelScanSharded, WideSingleShardSpanChunksAndMatchesSequential) {
+  // A span that never crosses a shard boundary used to degenerate to one
+  // executor task (run_tasks over a single per-shard snapshot); it now
+  // delegates to that shard snapshot's chunked scan, so a wide hot-range
+  // query fans out anyway. Differential: the chunked result must stay
+  // bit-identical to the sequential scan at every width, including an
+  // extreme oversplit.
+  ShardedPnbMap<long, long, 4, RangeSplitter<long>> map(
+      RangeSplitter<long>{0, 1 << 16});
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 8000; ++i) {
+    const long k = static_cast<long>(rng.next_bounded(1 << 14));  // shard 0
+    map.insert(k, k * 3);
+  }
+  ScanExecutor ex(4);
+  const std::pair<long, long> spans[] = {
+      {0, (1 << 14) - 1}, {1, (1 << 14) - 2}, {5000, 9000}, {7, 7}};
+  for (const auto& [lo, hi] : spans) {
+    const auto seq = map.range_scan(lo, hi);
+    for (unsigned threads : {1u, 2u, 8u}) {
+      ParallelScanOptions opts(threads, ex);
+      EXPECT_EQ(map.parallel_range_scan(lo, hi, opts), seq)
+          << "[" << lo << "," << hi << "] x" << threads;
+      EXPECT_EQ(map.parallel_range_count(lo, hi, opts), seq.size())
+          << "[" << lo << "," << hi << "] x" << threads;
+    }
+    EXPECT_EQ(
+        map.parallel_range_scan(lo, hi, ParallelScanOptions(4u, ex, 64)),
+        seq)
+        << "oversplit [" << lo << "," << hi << "]";
+  }
+
+  // NumShards == 1 front-end: the composite Snapshot itself delegates, so
+  // the differential runs against one held handle (bit-identical by the
+  // snapshot contract, not just by quiescence).
+  ShardedPnbMap<long, long, 1, RangeSplitter<long>> one(
+      RangeSplitter<long>{0, 1 << 14});
+  for (long k = 0; k < (1 << 14); k += 3) one.insert(k, k + 7);
+  auto snap = one.snapshot();
+  const auto seq = snap.range_scan(0L, (1L << 14) - 1);
+  for (unsigned threads : {1u, 3u, 8u}) {
+    ParallelScanOptions opts(threads, ex);
+    EXPECT_EQ(snap.parallel_range_scan(0L, (1L << 14) - 1, opts), seq)
+        << threads;
+    EXPECT_EQ(snap.parallel_range_count(0L, (1L << 14) - 1, opts),
+              seq.size())
+        << threads;
+  }
+}
+
 }  // namespace
 }  // namespace pnbbst

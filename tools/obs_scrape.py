@@ -122,10 +122,72 @@ def validate(text, require_families):
         samples.append((name, labels, value))
     if not samples:
         problems.append("no samples found")
+    problems.extend(check_histograms(samples))
     for fam in require_families:
         if not any(n.startswith(fam) for n, _, _ in samples):
             problems.append(f"required family missing: {fam}*")
     return problems, samples
+
+
+LE_RE = re.compile(r'(?:^|,)le="([^"]*)"')
+
+
+def strip_le(labels):
+    return LE_RE.sub("", labels).strip(",")
+
+
+def check_histograms(samples):
+    """le-bucketed histogram shape: every *_bucket series carries an le
+    label; per (family, labels-minus-le) the buckets sorted by NUMERIC le
+    (the page itself orders labels lexicographically, so 25000 precedes
+    2500 there) are cumulative/non-decreasing; a terminal +Inf bucket
+    exists and equals the family's _count sample when one is present."""
+    problems = []
+    series = {}  # (family, other-labels) -> {le-string: float}
+    counts = {}  # (family, labels) -> float
+    for name, labels, value in samples:
+        if name.endswith("_bucket"):
+            fam = name[: -len("_bucket")]
+            m = LE_RE.search(labels)
+            if not m:
+                problems.append(
+                    f"histogram {name}{{{labels}}}: no le label")
+                continue
+            series.setdefault((fam, strip_le(labels)), {})[m.group(1)] = \
+                float(value)
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")], labels)] = float(value)
+    for (fam, other), buckets in sorted(series.items()):
+        where = f"histogram {fam}{{{other}}}"
+        if "+Inf" not in buckets:
+            problems.append(f"{where}: missing terminal +Inf bucket")
+            continue
+        finite = []
+        for le, value in buckets.items():
+            if le == "+Inf":
+                continue
+            try:
+                finite.append((float(le), value))
+            except ValueError:
+                problems.append(f"{where}: non-numeric le {le!r}")
+        finite.sort()
+        prev_le, prev = None, 0.0
+        for le, value in finite:
+            if value < prev:
+                problems.append(
+                    f"{where}: bucket le={le:g} count {value:g} < "
+                    f"le={prev_le:g} count {prev:g} (not cumulative)")
+            prev_le, prev = le, value
+        inf = buckets["+Inf"]
+        if finite and inf < finite[-1][1]:
+            problems.append(
+                f"{where}: +Inf bucket {inf:g} < largest finite "
+                f"bucket {finite[-1][1]:g}")
+        declared = counts.get((fam, other))
+        if declared is not None and declared != inf:
+            problems.append(
+                f"{where}: +Inf bucket {inf:g} != _count {declared:g}")
+    return problems
 
 
 def fetch_url(url, timeout=5.0):
